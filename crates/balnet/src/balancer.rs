@@ -1,0 +1,119 @@
+//! The state machine of a single `(p, q)`-balancer.
+//!
+//! A balancer accepts a stream of tokens on its `p` input wires and forwards
+//! the `i`-th token it processes to output wire `i mod q` (Section 1.1).
+//! The *state* of a balancer is the index of the output wire on which it
+//! will forward the next token; a *transition* forwards one token and
+//! advances the state by one modulo `q` (Section 2.2).
+
+use crate::seq::balancer_step_output;
+
+/// The sequential state of a `(p, q)`-balancer.
+///
+/// The state only depends on `q` (the output width); the input width `p`
+/// matters for topology but not for the balancer's forwarding behaviour,
+/// because the output of a balancer is a function of the *total* number of
+/// tokens it has processed, not of which wire they arrived on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BalancerState {
+    fan_out: usize,
+    /// The output wire on which the next token will be forwarded.
+    next: usize,
+    /// Total number of tokens processed so far.
+    processed: u64,
+}
+
+impl BalancerState {
+    /// A fresh balancer with output width `fan_out`, in its initial state
+    /// (next token goes to output wire 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_out == 0`.
+    #[must_use]
+    pub fn new(fan_out: usize) -> Self {
+        assert!(fan_out > 0, "a balancer must have at least one output wire");
+        Self { fan_out, next: 0, processed: 0 }
+    }
+
+    /// The output width `q` of this balancer.
+    #[must_use]
+    pub fn fan_out(&self) -> usize {
+        self.fan_out
+    }
+
+    /// The current state: the output wire the next token will leave on.
+    #[must_use]
+    pub fn state(&self) -> usize {
+        self.next
+    }
+
+    /// The total number of tokens this balancer has processed.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Process one token (a *transition* `α(τ, b)`), returning the output
+    /// wire it leaves on. The state advances by one modulo `q`.
+    pub fn traverse(&mut self) -> usize {
+        let out = self.next;
+        self.next = (self.next + 1) % self.fan_out;
+        self.processed += 1;
+        out
+    }
+
+    /// The number of tokens that have left on each output wire so far.
+    ///
+    /// In a quiescent state this equals the canonical step sequence of the
+    /// total processed count (the step property of a single balancer).
+    #[must_use]
+    pub fn output_counts(&self) -> Vec<u64> {
+        balancer_step_output(self.processed, self.fan_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{is_step, sum};
+
+    #[test]
+    fn round_robin_forwarding() {
+        let mut b = BalancerState::new(3);
+        let outs: Vec<usize> = (0..7).map(|_| b.traverse()).collect();
+        assert_eq!(outs, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(b.state(), 1);
+        assert_eq!(b.processed(), 7);
+    }
+
+    #[test]
+    fn output_counts_satisfy_step_property() {
+        for q in 1..8 {
+            let mut b = BalancerState::new(q);
+            for m in 0..40u64 {
+                let counts = b.output_counts();
+                assert!(is_step(&counts), "q={q} m={m}: {counts:?}");
+                assert_eq!(sum(&counts), m);
+                b.traverse();
+            }
+        }
+    }
+
+    #[test]
+    fn output_counts_match_explicit_tally() {
+        let mut b = BalancerState::new(4);
+        let mut tally = vec![0u64; 4];
+        for _ in 0..23 {
+            let wire = b.traverse();
+            tally[wire] += 1;
+        }
+        assert_eq!(b.output_counts(), tally);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn zero_fan_out_rejected() {
+        let _ = BalancerState::new(0);
+    }
+}

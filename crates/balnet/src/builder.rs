@@ -1,0 +1,355 @@
+//! Incremental construction and validation of network topologies.
+
+use crate::error::BuildError;
+use crate::topology::{compute_depths, BalancerId, BalancerNode, Network, Port};
+
+/// Destination "slot" used internally while wiring up a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    NetworkInput(usize),
+    BalancerOutput { balancer: usize, port: usize },
+}
+
+/// A mutable builder for [`Network`] topologies.
+///
+/// The builder lets constructions express wiring naturally — "connect output
+/// port 1 of balancer `a` to input port 0 of balancer `b`" — and performs
+/// full validation in [`NetworkBuilder::build`]: every balancer input port
+/// and every network output wire must have exactly one incoming wire, every
+/// balancer output and network input must be routed, and the wiring must be
+/// acyclic.
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    input_width: usize,
+    output_width: usize,
+    balancers: Vec<(usize, usize)>, // (fan_in, fan_out)
+    /// For each source, where does its wire go (if connected yet)?
+    input_targets: Vec<Option<Port>>,
+    output_targets: Vec<Vec<Option<Port>>>,
+}
+
+impl NetworkBuilder {
+    /// Creates a builder for a network with the given input and output
+    /// widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is zero.
+    #[must_use]
+    pub fn new(input_width: usize, output_width: usize) -> Self {
+        assert!(input_width > 0, "input width must be positive");
+        assert!(output_width > 0, "output width must be positive");
+        Self {
+            input_width,
+            output_width,
+            balancers: Vec::new(),
+            input_targets: vec![None; input_width],
+            output_targets: Vec::new(),
+        }
+    }
+
+    /// The input width the network will have.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.input_width
+    }
+
+    /// The output width the network will have.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.output_width
+    }
+
+    /// Adds a `(fan_in, fan_out)`-balancer and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is zero.
+    pub fn add_balancer(&mut self, fan_in: usize, fan_out: usize) -> BalancerId {
+        assert!(fan_in > 0, "balancer fan-in must be positive");
+        assert!(fan_out > 0, "balancer fan-out must be positive");
+        let id = BalancerId(self.balancers.len());
+        self.balancers.push((fan_in, fan_out));
+        self.output_targets.push(vec![None; fan_out]);
+        id
+    }
+
+    /// Routes network input wire `input` to input port `port` of `balancer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire indices are out of range or the input wire is
+    /// already routed.
+    pub fn connect_input(&mut self, input: usize, balancer: BalancerId, port: usize) {
+        assert!(input < self.input_width, "network input {input} out of range");
+        assert!(balancer.0 < self.balancers.len(), "no balancer {}", balancer.0);
+        assert!(port < self.balancers[balancer.0].0, "input port {port} out of range");
+        assert!(
+            self.input_targets[input].is_none(),
+            "network input {input} is already connected"
+        );
+        self.input_targets[input] = Some(Port::Balancer { balancer: balancer.0, port });
+    }
+
+    /// Routes network input wire `input` directly to network output wire
+    /// `output` (a pure wire with no balancer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or the input is already routed.
+    pub fn connect_input_to_output(&mut self, input: usize, output: usize) {
+        assert!(input < self.input_width, "network input {input} out of range");
+        assert!(output < self.output_width, "network output {output} out of range");
+        assert!(
+            self.input_targets[input].is_none(),
+            "network input {input} is already connected"
+        );
+        self.input_targets[input] = Some(Port::Output(output));
+    }
+
+    /// Connects output port `from_port` of balancer `from` to input port
+    /// `to_port` of balancer `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids or ports are out of range or the output port is
+    /// already connected.
+    pub fn connect(&mut self, from: BalancerId, from_port: usize, to: BalancerId, to_port: usize) {
+        assert!(from.0 < self.balancers.len(), "no balancer {}", from.0);
+        assert!(to.0 < self.balancers.len(), "no balancer {}", to.0);
+        assert!(from_port < self.balancers[from.0].1, "output port {from_port} out of range");
+        assert!(to_port < self.balancers[to.0].0, "input port {to_port} out of range");
+        assert!(
+            self.output_targets[from.0][from_port].is_none(),
+            "output port {from_port} of balancer {} is already connected",
+            from.0
+        );
+        self.output_targets[from.0][from_port] =
+            Some(Port::Balancer { balancer: to.0, port: to_port });
+    }
+
+    /// Connects output port `from_port` of balancer `from` to network output
+    /// wire `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids or ports are out of range or the output port is
+    /// already connected.
+    pub fn connect_to_output(&mut self, from: BalancerId, from_port: usize, output: usize) {
+        assert!(from.0 < self.balancers.len(), "no balancer {}", from.0);
+        assert!(from_port < self.balancers[from.0].1, "output port {from_port} out of range");
+        assert!(output < self.output_width, "network output {output} out of range");
+        assert!(
+            self.output_targets[from.0][from_port].is_none(),
+            "output port {from_port} of balancer {} is already connected",
+            from.0
+        );
+        self.output_targets[from.0][from_port] = Some(Port::Output(output));
+    }
+
+    /// Validates the wiring and produces an immutable [`Network`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] describing the first problem found:
+    /// unconnected or doubly-connected ports, unrouted inputs, or cycles.
+    pub fn build(self) -> Result<Network, BuildError> {
+        // 1. Every network input routed.
+        let mut inputs = Vec::with_capacity(self.input_width);
+        for (wire, tgt) in self.input_targets.iter().enumerate() {
+            match tgt {
+                Some(p) => inputs.push(*p),
+                None => return Err(BuildError::UnconnectedNetworkInput { wire }),
+            }
+        }
+        // 2. Every balancer output routed.
+        let mut balancers = Vec::with_capacity(self.balancers.len());
+        for (idx, ((fan_in, fan_out), outs)) in
+            self.balancers.iter().zip(&self.output_targets).enumerate()
+        {
+            let mut outputs = Vec::with_capacity(*fan_out);
+            for (port, tgt) in outs.iter().enumerate() {
+                match tgt {
+                    Some(p) => outputs.push(*p),
+                    None => {
+                        return Err(BuildError::UnconnectedBalancerOutput { balancer: idx, port })
+                    }
+                }
+            }
+            balancers.push(BalancerNode { fan_in: *fan_in, fan_out: *fan_out, outputs });
+        }
+        // 3. Every balancer input port and network output wire has exactly
+        //    one incoming wire.
+        let mut input_port_seen: Vec<Vec<usize>> =
+            self.balancers.iter().map(|(fi, _)| vec![0usize; *fi]).collect();
+        let mut output_seen = vec![0usize; self.output_width];
+        let all_sources = inputs
+            .iter()
+            .copied()
+            .chain(balancers.iter().flat_map(|b| b.outputs.iter().copied()));
+        for port in all_sources {
+            match port {
+                Port::Balancer { balancer, port } => {
+                    input_port_seen[balancer][port] += 1;
+                }
+                Port::Output(o) => output_seen[o] += 1,
+            }
+        }
+        for (balancer, ports) in input_port_seen.iter().enumerate() {
+            for (port, &count) in ports.iter().enumerate() {
+                if count == 0 {
+                    return Err(BuildError::UnconnectedBalancerInput { balancer, port });
+                }
+                if count > 1 {
+                    return Err(BuildError::MultiplyConnectedBalancerInput { balancer, port });
+                }
+            }
+        }
+        for (wire, &count) in output_seen.iter().enumerate() {
+            if count == 0 {
+                return Err(BuildError::UnconnectedNetworkOutput { wire });
+            }
+            if count > 1 {
+                return Err(BuildError::MultiplyConnectedNetworkOutput { wire });
+            }
+        }
+        // 4. Acyclicity + depths.
+        let (depths, depth) = compute_depths(self.input_width, &inputs, &balancers)
+            .map_err(|()| BuildError::Cyclic)?;
+        Ok(Network {
+            input_width: self.input_width,
+            output_width: self.output_width,
+            inputs,
+            balancers,
+            depths,
+            depth,
+        })
+    }
+
+    /// Helper used by generated constructions: a fluent variant of
+    /// [`Self::build`] that panics with a readable message on failure.
+    /// Constructions in the `counting`/`baselines` crates are all verified
+    /// by tests, so a wiring error is a programming bug there, not a user
+    /// error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation fails.
+    #[must_use]
+    pub fn build_expect(self, what: &str) -> Network {
+        match self.build() {
+            Ok(net) => net,
+            Err(e) => panic!("invalid {what} construction: {e}"),
+        }
+    }
+
+    /// The source feeding a given destination so far, used by tests.
+    #[must_use]
+    #[allow(dead_code)]
+    fn sources(&self) -> Vec<Source> {
+        let mut v = Vec::new();
+        for (i, t) in self.input_targets.iter().enumerate() {
+            if t.is_some() {
+                v.push(Source::NetworkInput(i));
+            }
+        }
+        for (b, outs) in self.output_targets.iter().enumerate() {
+            for (p, t) in outs.iter().enumerate() {
+                if t.is_some() {
+                    v.push(Source::BalancerOutput { balancer: b, port: p });
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_unconnected_network_input() {
+        let mut b = NetworkBuilder::new(2, 2);
+        let bal = b.add_balancer(2, 2);
+        b.connect_input(0, bal, 0);
+        // input 1 left dangling
+        b.connect_to_output(bal, 0, 0);
+        b.connect_to_output(bal, 1, 1);
+        assert_eq!(b.build().unwrap_err(), BuildError::UnconnectedNetworkInput { wire: 1 });
+    }
+
+    #[test]
+    fn detects_unconnected_balancer_input() {
+        let mut b = NetworkBuilder::new(1, 2);
+        let bal = b.add_balancer(2, 2);
+        b.connect_input(0, bal, 0);
+        b.connect_to_output(bal, 0, 0);
+        b.connect_to_output(bal, 1, 1);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UnconnectedBalancerInput { balancer: 0, port: 1 }
+        );
+    }
+
+    #[test]
+    fn detects_unconnected_balancer_output() {
+        let mut b = NetworkBuilder::new(2, 1);
+        let bal = b.add_balancer(2, 2);
+        b.connect_input(0, bal, 0);
+        b.connect_input(1, bal, 1);
+        b.connect_to_output(bal, 0, 0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UnconnectedBalancerOutput { balancer: 0, port: 1 }
+        );
+    }
+
+    #[test]
+    fn detects_doubly_driven_output_wire() {
+        let mut b = NetworkBuilder::new(2, 2);
+        let bal = b.add_balancer(2, 2);
+        b.connect_input(0, bal, 0);
+        b.connect_input(1, bal, 1);
+        b.connect_to_output(bal, 0, 0);
+        b.connect_to_output(bal, 1, 0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::MultiplyConnectedNetworkOutput { wire: 0 }
+        );
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut b = NetworkBuilder::new(2, 2);
+        let x = b.add_balancer(2, 2);
+        let y = b.add_balancer(2, 2);
+        b.connect_input(0, x, 0);
+        b.connect_input(1, y, 0);
+        b.connect(x, 0, y, 1);
+        b.connect(y, 0, x, 1);
+        b.connect_to_output(x, 1, 0);
+        b.connect_to_output(y, 1, 1);
+        assert_eq!(b.build().unwrap_err(), BuildError::Cyclic);
+    }
+
+    #[test]
+    fn pure_wire_network_is_allowed() {
+        let mut b = NetworkBuilder::new(3, 3);
+        for i in 0..3 {
+            b.connect_input_to_output(i, 2 - i);
+        }
+        let net = b.build().expect("pure wires are a valid (trivial) network");
+        assert_eq!(net.depth(), 0);
+        assert_eq!(net.num_balancers(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics_eagerly() {
+        let mut b = NetworkBuilder::new(2, 2);
+        let bal = b.add_balancer(2, 2);
+        b.connect_input(0, bal, 0);
+        b.connect_input(0, bal, 1);
+    }
+}

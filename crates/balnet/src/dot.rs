@@ -1,0 +1,134 @@
+//! Graphviz (DOT) export of network topologies.
+//!
+//! The paper communicates its constructions through wiring diagrams
+//! (Figs. 1–16). `to_dot` renders any [`Network`] as a left-to-right DOT
+//! graph — balancers as boxes labelled with their `(p, q)` shape and
+//! depth, wires as edges annotated with the output-port index — so that
+//! `dot -Tsvg` reproduces the paper's figures for any instance.
+
+use std::fmt::Write as _;
+
+use crate::topology::{Network, Port};
+
+/// Options controlling the DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name (`digraph <name> { ... }`).
+    pub name: String,
+    /// Whether to group balancers of equal depth into vertically aligned
+    /// ranks (mirrors the layer structure of the figures).
+    pub rank_by_layer: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self { name: "balancing_network".to_owned(), rank_by_layer: true }
+    }
+}
+
+/// Renders the network as a Graphviz DOT document.
+#[must_use]
+pub fn to_dot(network: &Network, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(&options.name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+
+    // Input and output pseudo-nodes.
+    for i in 0..network.input_width() {
+        let _ = writeln!(out, "  in{i} [shape=plaintext, label=\"x{i}\"];");
+    }
+    for o in 0..network.output_width() {
+        let _ = writeln!(out, "  out{o} [shape=plaintext, label=\"y{o}\"];");
+    }
+    // Balancers.
+    for (idx, b) in network.balancers().iter().enumerate() {
+        let depth = network.balancer_depth(crate::topology::BalancerId(idx));
+        let _ = writeln!(
+            out,
+            "  b{idx} [label=\"b{idx}\\n({}, {})\\nlayer {depth}\"];",
+            b.fan_in, b.fan_out
+        );
+    }
+    // Wires.
+    let edge = |out: &mut String, from: String, port: &Port, label: Option<usize>| {
+        let target = match *port {
+            Port::Balancer { balancer, .. } => format!("b{balancer}"),
+            Port::Output(o) => format!("out{o}"),
+        };
+        let label = label.map_or_else(String::new, |l| format!(" [label=\"{l}\", fontsize=8]"));
+        let _ = writeln!(out, "  {from} -> {target}{label};");
+    };
+    for (i, port) in network.inputs().iter().enumerate() {
+        edge(&mut out, format!("in{i}"), port, None);
+    }
+    for (idx, b) in network.balancers().iter().enumerate() {
+        for (k, port) in b.outputs.iter().enumerate() {
+            edge(&mut out, format!("b{idx}"), port, Some(k));
+        }
+    }
+    // Ranks per layer.
+    if options.rank_by_layer {
+        for (layer_idx, layer) in network.layers().iter().enumerate() {
+            let ids: Vec<String> = layer.iter().map(|id| format!("b{}", id.index())).collect();
+            if !ids.is_empty() {
+                let _ = writeln!(out, "  {{ rank=same; /* layer {} */ {}; }}", layer_idx + 1, ids.join("; "));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    if cleaned.is_empty() {
+        "network".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    fn sample() -> Network {
+        let mut b = NetworkBuilder::new(2, 4);
+        let bal = b.add_balancer(2, 4);
+        b.connect_input(0, bal, 0);
+        b.connect_input(1, bal, 1);
+        for o in 0..4 {
+            b.connect_to_output(bal, o, o);
+        }
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn dot_output_mentions_every_wire_and_balancer() {
+        let net = sample();
+        let dot = to_dot(&net, &DotOptions::default());
+        assert!(dot.starts_with("digraph balancing_network {"));
+        assert!(dot.contains("b0 [label=\"b0\\n(2, 4)\\nlayer 1\"];"));
+        for i in 0..2 {
+            assert!(dot.contains(&format!("in{i} ->")));
+        }
+        for o in 0..4 {
+            assert!(dot.contains(&format!("out{o}")));
+        }
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn graph_name_is_sanitized() {
+        let net = sample();
+        let dot = to_dot(
+            &net,
+            &DotOptions { name: "C(4, 8) figure".to_owned(), rank_by_layer: false },
+        );
+        assert!(dot.starts_with("digraph C_4__8__figure {"));
+        assert!(!dot.contains("rank=same"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Error types for network construction and validation.
+
+use std::fmt;
+
+/// An error produced while building or validating a balancing network
+/// topology with [`crate::NetworkBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A balancer input port has no incoming wire.
+    UnconnectedBalancerInput {
+        /// The balancer whose input is dangling.
+        balancer: usize,
+        /// The input port index within that balancer.
+        port: usize,
+    },
+    /// A balancer input port has more than one incoming wire.
+    MultiplyConnectedBalancerInput {
+        /// The balancer whose input is over-connected.
+        balancer: usize,
+        /// The input port index within that balancer.
+        port: usize,
+    },
+    /// A balancer output port was never connected to anything.
+    UnconnectedBalancerOutput {
+        /// The balancer whose output is dangling.
+        balancer: usize,
+        /// The output port index within that balancer.
+        port: usize,
+    },
+    /// A network output wire has no incoming wire.
+    UnconnectedNetworkOutput {
+        /// The network output wire index.
+        wire: usize,
+    },
+    /// A network output wire has more than one incoming wire.
+    MultiplyConnectedNetworkOutput {
+        /// The network output wire index.
+        wire: usize,
+    },
+    /// A network input wire was never routed anywhere.
+    UnconnectedNetworkInput {
+        /// The network input wire index.
+        wire: usize,
+    },
+    /// The network contains a cycle (balancing networks must be acyclic).
+    Cyclic,
+    /// A port index was out of range for the referenced balancer.
+    PortOutOfRange {
+        /// The balancer being referenced.
+        balancer: usize,
+        /// The offending port index.
+        port: usize,
+    },
+    /// A balancer id was out of range.
+    NoSuchBalancer {
+        /// The offending balancer id.
+        balancer: usize,
+    },
+    /// Two networks being composed have mismatched widths.
+    WidthMismatch {
+        /// Output width of the upstream network.
+        upstream_outputs: usize,
+        /// Input width of the downstream network.
+        downstream_inputs: usize,
+    },
+    /// A parameter was invalid (e.g. width zero, or a width that is not a
+    /// power of two where one is required).
+    InvalidParameter(
+        /// Human-readable description of the violated requirement.
+        String,
+    ),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnconnectedBalancerInput { balancer, port } => {
+                write!(f, "input port {port} of balancer {balancer} has no incoming wire")
+            }
+            Self::MultiplyConnectedBalancerInput { balancer, port } => {
+                write!(f, "input port {port} of balancer {balancer} has multiple incoming wires")
+            }
+            Self::UnconnectedBalancerOutput { balancer, port } => {
+                write!(f, "output port {port} of balancer {balancer} is not connected")
+            }
+            Self::UnconnectedNetworkOutput { wire } => {
+                write!(f, "network output wire {wire} has no incoming wire")
+            }
+            Self::MultiplyConnectedNetworkOutput { wire } => {
+                write!(f, "network output wire {wire} has multiple incoming wires")
+            }
+            Self::UnconnectedNetworkInput { wire } => {
+                write!(f, "network input wire {wire} is not routed anywhere")
+            }
+            Self::Cyclic => write!(f, "the network contains a cycle"),
+            Self::PortOutOfRange { balancer, port } => {
+                write!(f, "port {port} is out of range for balancer {balancer}")
+            }
+            Self::NoSuchBalancer { balancer } => write!(f, "no balancer with id {balancer}"),
+            Self::WidthMismatch { upstream_outputs, downstream_inputs } => write!(
+                f,
+                "cannot cascade: upstream has {upstream_outputs} outputs but downstream expects {downstream_inputs} inputs"
+            ),
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BuildError::UnconnectedBalancerInput { balancer: 3, port: 1 };
+        assert!(e.to_string().contains("balancer 3"));
+        let e = BuildError::WidthMismatch { upstream_outputs: 4, downstream_inputs: 8 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('8'));
+        let e = BuildError::InvalidParameter("w must be a power of two".into());
+        assert!(e.to_string().contains("power of two"));
+    }
+}

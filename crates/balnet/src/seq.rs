@@ -1,0 +1,315 @@
+//! Integer token sequences and their combinatorial properties.
+//!
+//! A balancing network's behaviour in a quiescent state is described by the
+//! sequence of token counts on its input and output wires (Section 2.1 of
+//! the paper). This module provides the predicates and helpers used
+//! throughout the workspace: the *step* property, *k-smoothness*, step
+//! points, even/odd subsequences, halves, and the closed-form step output of
+//! a single balancer.
+
+/// Sum of a token sequence.
+///
+/// Equivalent to the paper's `Σ(x^(w))`.
+#[must_use]
+pub fn sum(seq: &[u64]) -> u64 {
+    seq.iter().sum()
+}
+
+/// Returns `true` if the sequence satisfies the *step property*:
+/// `0 <= x_i - x_j <= 1` for every pair of indices `i < j`.
+///
+/// Equivalently, the sequence is non-increasing and its maximum and minimum
+/// differ by at most one. The empty sequence and singleton sequences are
+/// trivially step.
+#[must_use]
+pub fn is_step(seq: &[u64]) -> bool {
+    if seq.len() <= 1 {
+        return true;
+    }
+    let max = *seq.iter().max().expect("non-empty");
+    let min = *seq.iter().min().expect("non-empty");
+    if max - min > 1 {
+        return false;
+    }
+    // Non-increasing: once we drop to `min`, we must never go back to `max`.
+    seq.windows(2).all(|w| w[0] >= w[1])
+}
+
+/// Returns `true` if the sequence satisfies the *k-smooth property*:
+/// `|x_i - x_j| <= k` for every pair of indices.
+#[must_use]
+pub fn is_k_smooth(seq: &[u64], k: u64) -> bool {
+    if seq.is_empty() {
+        return true;
+    }
+    let max = *seq.iter().max().expect("non-empty");
+    let min = *seq.iter().min().expect("non-empty");
+    max - min <= k
+}
+
+/// The *step point* of a step sequence (Section 2.1): the unique index `i`
+/// with `x_i < x_{i-1}`, or `w` (the length) if all entries are equal.
+///
+/// # Panics
+///
+/// Panics if the sequence is not a step sequence or is empty.
+#[must_use]
+pub fn step_point(seq: &[u64]) -> usize {
+    assert!(!seq.is_empty(), "step point of an empty sequence is undefined");
+    assert!(is_step(seq), "step point is only defined for step sequences");
+    for i in 1..seq.len() {
+        if seq[i] < seq[i - 1] {
+            return i;
+        }
+    }
+    seq.len()
+}
+
+/// The canonical step sequence of length `width` summing to `total`:
+/// `x_i = ceil((total - i) / width)` (Equation (1) of the paper).
+#[must_use]
+pub fn step_sequence(total: u64, width: usize) -> Vec<u64> {
+    assert!(width > 0, "width must be positive");
+    (0..width as u64)
+        .map(|i| div_ceil_sub(total, i, width as u64))
+        .collect()
+}
+
+/// The value on output wire `i` of a `(p, q)`-balancer that has processed
+/// `total` tokens in a quiescent state: `y_i = ceil((total - i) / q)`.
+#[must_use]
+pub fn step_value(total: u64, wire: usize, width: usize) -> u64 {
+    div_ceil_sub(total, wire as u64, width as u64)
+}
+
+/// `ceil((total - i) / q)` computed without going negative:
+/// when `i >= total` the result is 0.
+fn div_ceil_sub(total: u64, i: u64, q: u64) -> u64 {
+    if total <= i {
+        0
+    } else {
+        (total - i).div_ceil(q)
+    }
+}
+
+/// The full output sequence of a `(p, q)`-balancer that has processed
+/// `total` tokens: the canonical step sequence of width `q` summing to
+/// `total`. This is the closed-form used for quiescent evaluation.
+#[must_use]
+pub fn balancer_step_output(total: u64, fan_out: usize) -> Vec<u64> {
+    step_sequence(total, fan_out)
+}
+
+/// The even subsequence `x_0, x_2, x_4, ...` of a sequence.
+#[must_use]
+pub fn even_subsequence(seq: &[u64]) -> Vec<u64> {
+    seq.iter().step_by(2).copied().collect()
+}
+
+/// The odd subsequence `x_1, x_3, x_5, ...` of a sequence.
+#[must_use]
+pub fn odd_subsequence(seq: &[u64]) -> Vec<u64> {
+    seq.iter().skip(1).step_by(2).copied().collect()
+}
+
+/// The first half of a sequence of even length.
+///
+/// # Panics
+///
+/// Panics if the length is odd.
+#[must_use]
+pub fn first_half(seq: &[u64]) -> &[u64] {
+    assert!(seq.len().is_multiple_of(2), "halves are only defined for even lengths");
+    &seq[..seq.len() / 2]
+}
+
+/// The second half of a sequence of even length.
+///
+/// # Panics
+///
+/// Panics if the length is odd.
+#[must_use]
+pub fn second_half(seq: &[u64]) -> &[u64] {
+    assert!(seq.len().is_multiple_of(2), "halves are only defined for even lengths");
+    &seq[seq.len() / 2..]
+}
+
+/// Checks the hypothesis and conclusion of Lemma 2.2: for step sequences
+/// `x` and `y` with `0 <= Σx - Σy <= δ`, their maxima `a` and `b` satisfy
+/// `0 <= a - b <= floor(δ / w) + 1`.
+///
+/// Returns `None` when the hypothesis does not apply (sequences not step, or
+/// sum difference out of range), `Some(true)` when the conclusion holds and
+/// `Some(false)` when it does not (which would falsify the lemma).
+#[must_use]
+pub fn lemma_2_2_holds(x: &[u64], y: &[u64], delta: u64) -> Option<bool> {
+    if x.len() != y.len() || x.len() < 2 || !is_step(x) || !is_step(y) {
+        return None;
+    }
+    let (sx, sy) = (sum(x), sum(y));
+    if sx < sy || sx - sy > delta {
+        return None;
+    }
+    let a = *x.iter().max().expect("non-empty");
+    let b = *y.iter().max().expect("non-empty");
+    let bound = delta / x.len() as u64 + 1;
+    Some(a >= b && a - b <= bound)
+}
+
+/// Checks Lemma 2.3: for a step sequence of even length `w >= 2`, the sums
+/// of its even and odd subsequences satisfy `0 <= Σx_e - Σx_o <= 1`.
+#[must_use]
+pub fn lemma_2_3_holds(x: &[u64]) -> Option<bool> {
+    if x.len() < 2 || !x.len().is_multiple_of(2) || !is_step(x) {
+        return None;
+    }
+    let e = sum(&even_subsequence(x));
+    let o = sum(&odd_subsequence(x));
+    Some(e >= o && e - o <= 1)
+}
+
+/// Checks Lemma 2.4: for step sequences `x` and `y` of even length `w >= 2`
+/// with `0 <= Σx - Σy <= δ` for an **even** `δ`, the even subsequences
+/// satisfy `0 <= Σx_e - Σy_e <= δ/2` and likewise for the odd
+/// subsequences.
+///
+/// Returns `None` when the hypothesis does not apply, `Some(true)` when
+/// the conclusion holds, `Some(false)` otherwise (which would falsify the
+/// lemma).
+#[must_use]
+pub fn lemma_2_4_holds(x: &[u64], y: &[u64], delta: u64) -> Option<bool> {
+    if x.len() != y.len()
+        || x.len() < 2
+        || !x.len().is_multiple_of(2)
+        || !delta.is_multiple_of(2)
+        || !is_step(x)
+        || !is_step(y)
+    {
+        return None;
+    }
+    let (sx, sy) = (sum(x), sum(y));
+    if sx < sy || sx - sy > delta {
+        return None;
+    }
+    let within = |a: u64, b: u64| a >= b && a - b <= delta / 2;
+    let even_ok = within(sum(&even_subsequence(x)), sum(&even_subsequence(y)));
+    let odd_ok = within(sum(&odd_subsequence(x)), sum(&odd_subsequence(y)));
+    Some(even_ok && odd_ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_recognises_canonical_sequences() {
+        assert!(is_step(&[]));
+        assert!(is_step(&[7]));
+        assert!(is_step(&[3, 3, 3, 3]));
+        assert!(is_step(&[4, 4, 3, 3]));
+        assert!(is_step(&[4, 3, 3, 3]));
+        assert!(!is_step(&[3, 4, 3, 3]));
+        assert!(!is_step(&[5, 3, 3, 3]));
+        assert!(!is_step(&[4, 4, 4, 5]));
+    }
+
+    #[test]
+    fn smoothness_basic() {
+        assert!(is_k_smooth(&[], 0));
+        assert!(is_k_smooth(&[5, 5, 5], 0));
+        assert!(is_k_smooth(&[5, 3, 4], 2));
+        assert!(!is_k_smooth(&[5, 2, 4], 2));
+        // Every step sequence is 1-smooth.
+        assert!(is_k_smooth(&[4, 4, 3, 3], 1));
+    }
+
+    #[test]
+    fn step_point_matches_definition() {
+        assert_eq!(step_point(&[3, 3, 3]), 3);
+        assert_eq!(step_point(&[4, 3, 3]), 1);
+        assert_eq!(step_point(&[4, 4, 3]), 2);
+        assert_eq!(step_point(&[1]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "step sequences")]
+    fn step_point_rejects_non_step() {
+        let _ = step_point(&[1, 2]);
+    }
+
+    #[test]
+    fn step_sequence_formula() {
+        assert_eq!(step_sequence(0, 4), vec![0, 0, 0, 0]);
+        assert_eq!(step_sequence(1, 4), vec![1, 0, 0, 0]);
+        assert_eq!(step_sequence(5, 4), vec![2, 1, 1, 1]);
+        assert_eq!(step_sequence(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(step_sequence(9, 4), vec![3, 2, 2, 2]);
+        // The canonical step sequence is always step and sums correctly.
+        for total in 0..50 {
+            for width in 1..10 {
+                let s = step_sequence(total, width);
+                assert!(is_step(&s));
+                assert_eq!(sum(&s), total);
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_balancer_example() {
+        // Fig. 1 (left): a (4,6)-balancer processing 2+3+1+1 = 7 tokens
+        // emits the step sequence 2,1,1,1,1,1 on its six outputs.
+        let out = balancer_step_output(7, 6);
+        assert_eq!(out, vec![2, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn subsequences_and_halves() {
+        let x = [9, 8, 7, 6, 5, 4];
+        assert_eq!(even_subsequence(&x), vec![9, 7, 5]);
+        assert_eq!(odd_subsequence(&x), vec![8, 6, 4]);
+        assert_eq!(first_half(&x), &[9, 8, 7]);
+        assert_eq!(second_half(&x), &[6, 5, 4]);
+    }
+
+    #[test]
+    fn lemma_2_2_on_concrete_sequences() {
+        // Two step sequences with sums differing by 3, width 4.
+        let x = step_sequence(11, 4);
+        let y = step_sequence(8, 4);
+        assert_eq!(lemma_2_2_holds(&x, &y, 3), Some(true));
+        // Hypothesis violated: y sums to more than x.
+        assert_eq!(lemma_2_2_holds(&y, &x, 3), None);
+    }
+
+    #[test]
+    fn lemma_2_3_on_all_small_step_sequences() {
+        for width in [2usize, 4, 6, 8] {
+            for total in 0..(4 * width as u64) {
+                let x = step_sequence(total, width);
+                assert_eq!(lemma_2_3_holds(&x), Some(true), "width={width} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_2_4_on_all_small_step_pairs() {
+        for width in [2usize, 4, 8] {
+            for sum_y in 0..(3 * width as u64) {
+                for delta in [0u64, 2, 4, 8] {
+                    for diff in 0..=delta {
+                        let x = step_sequence(sum_y + diff, width);
+                        let y = step_sequence(sum_y, width);
+                        assert_eq!(
+                            lemma_2_4_holds(&x, &y, delta),
+                            Some(true),
+                            "width={width} sum_y={sum_y} delta={delta} diff={diff}"
+                        );
+                    }
+                }
+            }
+        }
+        // Hypothesis violations are reported as inapplicable, not false.
+        assert_eq!(lemma_2_4_holds(&[1, 0], &[3, 2], 2), None, "Σx < Σy");
+        assert_eq!(lemma_2_4_holds(&[3, 2], &[1, 0], 3), None, "odd δ");
+    }
+}

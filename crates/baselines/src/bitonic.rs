@@ -1,0 +1,216 @@
+//! The bitonic counting network of Aspnes, Herlihy & Shavit.
+//!
+//! `Bitonic[w]` (for `w = 2^k`) is the prime example of a regular counting
+//! network (Section 1.3 of Busch & Mavronicolas). It is built recursively:
+//! two `Bitonic[w/2]` networks count the two halves of the inputs and a
+//! `Merger[w]` network merges their (step) outputs. The merger splits its
+//! inputs into even/odd subsequences crosswise, merges those recursively,
+//! and fixes up the result with a final layer of balancers. Its depth is
+//! `lg w`, giving the bitonic network total depth `lgw·(lgw+1)/2` — the
+//! same as `C(w, t)` — but its amortized contention is `Θ(n·lg²w/w)`
+//! (Dwork, Herlihy & Waarts), which `C(w, t)` improves on by a `lg w`
+//! factor when `t = w·lgw`.
+
+use balnet::{BuildError, Network, NetworkBuilder};
+
+/// Where a wire comes from (local copy of the wiring helper used by the
+/// `counting` crate; kept crate-private to avoid a public dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Input(usize),
+    Bal(balnet::BalancerId, usize),
+}
+
+fn feed_balancer(b: &mut NetworkBuilder, src: Src, to: balnet::BalancerId, port: usize) {
+    match src {
+        Src::Input(i) => b.connect_input(i, to, port),
+        Src::Bal(from, from_port) => b.connect(from, from_port, to, port),
+    }
+}
+
+fn feed_output(b: &mut NetworkBuilder, src: Src, output: usize) {
+    match src {
+        Src::Input(i) => b.connect_input_to_output(i, output),
+        Src::Bal(from, from_port) => b.connect_to_output(from, from_port, output),
+    }
+}
+
+fn evens(srcs: &[Src]) -> Vec<Src> {
+    srcs.iter().step_by(2).copied().collect()
+}
+
+fn odds(srcs: &[Src]) -> Vec<Src> {
+    srcs.iter().skip(1).step_by(2).copied().collect()
+}
+
+/// Adds the bitonic `Merger[2k]` over two step input sequences `x` and `y`
+/// of length `k` each, returning the `2k` output sources.
+fn merger_into(b: &mut NetworkBuilder, x: &[Src], y: &[Src]) -> Vec<Src> {
+    assert_eq!(x.len(), y.len());
+    let k = x.len();
+    if k == 1 {
+        let bal = b.add_balancer(2, 2);
+        feed_balancer(b, x[0], bal, 0);
+        feed_balancer(b, y[0], bal, 1);
+        return vec![Src::Bal(bal, 0), Src::Bal(bal, 1)];
+    }
+    // Cross split: even of x with odd of y, odd of x with even of y.
+    let a = merger_into(b, &evens(x), &odds(y));
+    let bb = merger_into(b, &odds(x), &evens(y));
+    // Final layer: the i-th outputs of the two sub-mergers feed a balancer
+    // whose outputs are wires 2i and 2i+1.
+    let mut out = Vec::with_capacity(2 * k);
+    for i in 0..k {
+        let bal = b.add_balancer(2, 2);
+        feed_balancer(b, a[i], bal, 0);
+        feed_balancer(b, bb[i], bal, 1);
+        out.push(Src::Bal(bal, 0));
+        out.push(Src::Bal(bal, 1));
+    }
+    out
+}
+
+/// Adds `Bitonic[w]` over the given sources, returning the output sources.
+fn bitonic_into(b: &mut NetworkBuilder, x: &[Src]) -> Vec<Src> {
+    let w = x.len();
+    if w == 1 {
+        return x.to_vec();
+    }
+    let (top, bottom) = x.split_at(w / 2);
+    let g = bitonic_into(b, top);
+    let h = bitonic_into(b, bottom);
+    merger_into(b, &g, &h)
+}
+
+/// Builds the bitonic merging network `Merger[w]` as a standalone network:
+/// its first `w/2` input wires carry the first step sequence, the last
+/// `w/2` the second.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] unless `w` is a power of two
+/// `>= 2`.
+pub fn bitonic_merger(w: usize) -> Result<Network, BuildError> {
+    if w < 2 || !w.is_power_of_two() {
+        return Err(BuildError::InvalidParameter(format!(
+            "Merger[w] requires w to be a power of two >= 2, got {w}"
+        )));
+    }
+    let mut b = NetworkBuilder::new(w, w);
+    let srcs: Vec<Src> = (0..w).map(Src::Input).collect();
+    let (x, y) = srcs.split_at(w / 2);
+    let out = merger_into(&mut b, x, y);
+    for (i, s) in out.into_iter().enumerate() {
+        feed_output(&mut b, s, i);
+    }
+    Ok(b.build_expect("bitonic merger"))
+}
+
+/// Builds the bitonic counting network `Bitonic[w]` for `w` a power of two.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] unless `w` is a power of two
+/// `>= 2`.
+pub fn bitonic_counting_network(w: usize) -> Result<Network, BuildError> {
+    if w < 2 || !w.is_power_of_two() {
+        return Err(BuildError::InvalidParameter(format!(
+            "Bitonic[w] requires w to be a power of two >= 2, got {w}"
+        )));
+    }
+    let mut b = NetworkBuilder::new(w, w);
+    let srcs: Vec<Src> = (0..w).map(Src::Input).collect();
+    let out = bitonic_into(&mut b, &srcs);
+    for (i, s) in out.into_iter().enumerate() {
+        feed_output(&mut b, s, i);
+    }
+    Ok(b.build_expect("bitonic counting network"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balnet::{
+        is_counting_network_exhaustive, is_counting_network_randomized, is_step,
+        quiescent_output, step_sequence,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn depth_is_lgw_lgw_plus_1_over_2() {
+        for k in 1..6 {
+            let w = 1usize << k;
+            let net = bitonic_counting_network(w).expect("valid");
+            assert_eq!(net.depth(), k * (k + 1) / 2, "Bitonic[{w}]");
+            assert_eq!(net.input_width(), w);
+            assert_eq!(net.output_width(), w);
+            assert!(net.is_regular());
+        }
+    }
+
+    #[test]
+    fn merger_depth_is_lgw() {
+        for k in 1..7 {
+            let w = 1usize << k;
+            let net = bitonic_merger(w).expect("valid");
+            assert_eq!(net.depth(), k, "Merger[{w}]");
+            // lg w layers of w/2 balancers.
+            assert_eq!(net.num_balancers(), k * w / 2);
+        }
+    }
+
+    #[test]
+    fn merger_merges_step_sequences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for w in [4usize, 8, 16, 32] {
+            let net = bitonic_merger(w).expect("valid");
+            for _ in 0..200 {
+                let sx: u64 = rng.gen_range(0..100);
+                let sy: u64 = rng.gen_range(0..100);
+                let mut input = step_sequence(sx, w / 2);
+                input.extend(step_sequence(sy, w / 2));
+                let out = quiescent_output(&net, &input);
+                assert!(is_step(&out), "Merger[{w}] Σx={sx} Σy={sy}: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_bitonic_networks_count_exhaustively() {
+        let b2 = bitonic_counting_network(2).expect("valid");
+        assert!(is_counting_network_exhaustive(&b2, 8));
+        let b4 = bitonic_counting_network(4).expect("valid");
+        assert!(is_counting_network_exhaustive(&b4, 4));
+    }
+
+    #[test]
+    fn larger_bitonic_networks_count_randomized() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for w in [8usize, 16, 32] {
+            let net = bitonic_counting_network(w).expect("valid");
+            assert!(
+                is_counting_network_randomized(&net, 150, 64, &mut rng),
+                "Bitonic[{w}]"
+            );
+        }
+    }
+
+    #[test]
+    fn bitonic_balancer_count() {
+        // B(w) = 2 B(w/2) + (w/2)·lg w, B(1) = 0 ⇒ B(w) = w·lgw·(lgw+1)/4.
+        for k in 1..6 {
+            let w = 1usize << k;
+            let net = bitonic_counting_network(w).expect("valid");
+            assert_eq!(net.num_balancers(), w * k * (k + 1) / 4);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_widths() {
+        assert!(bitonic_counting_network(0).is_err());
+        assert!(bitonic_counting_network(1).is_err());
+        assert!(bitonic_counting_network(6).is_err());
+        assert!(bitonic_merger(3).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! The diffracting tree of Shavit & Zemach (structural form).
+//!
+//! The diffracting tree is one of the two other known irregular counting
+//! networks (Section 1.4.1): a binary tree of `(1, 2)`-balancers with one
+//! input wire, `w` output wires and depth `lg w`. The "diffraction"
+//! optimization (randomized prisms that let colliding tokens eliminate
+//! each other) is a runtime technique and lives in `counting-runtime`; the
+//! structural network here captures the topology and its quiescent
+//! behaviour. Its adversarial amortized contention is `Θ(n)` because an
+//! adversary can pile every token onto the root balancer.
+
+use balnet::{BuildError, Network, NetworkBuilder};
+
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    Input(usize),
+    Bal(balnet::BalancerId, usize),
+}
+
+fn feed_balancer(b: &mut NetworkBuilder, src: Src, to: balnet::BalancerId, port: usize) {
+    match src {
+        Src::Input(i) => b.connect_input(i, to, port),
+        Src::Bal(from, from_port) => b.connect(from, from_port, to, port),
+    }
+}
+
+fn feed_output(b: &mut NetworkBuilder, src: Src, output: usize) {
+    match src {
+        Src::Input(i) => b.connect_input_to_output(i, output),
+        Src::Bal(from, from_port) => b.connect_to_output(from, from_port, output),
+    }
+}
+
+/// Recursively adds a subtree fanning one source out to the given output
+/// positions. The first output of each `(1,2)`-balancer leads to the
+/// even-indexed positions and the second to the odd-indexed ones, so that
+/// leaf `i` is reached by the bit-reversed path of `i` — this interleaving
+/// is what makes the tree a counting network (the `i`-th token overall
+/// exits on wire `i mod w`).
+fn tree_into(b: &mut NetworkBuilder, src: Src, positions: &[usize], out: &mut [Option<Src>]) {
+    if positions.len() == 1 {
+        out[positions[0]] = Some(src);
+        return;
+    }
+    let bal = b.add_balancer(1, 2);
+    feed_balancer(b, src, bal, 0);
+    let evens: Vec<usize> = positions.iter().step_by(2).copied().collect();
+    let odds: Vec<usize> = positions.iter().skip(1).step_by(2).copied().collect();
+    tree_into(b, Src::Bal(bal, 0), &evens, out);
+    tree_into(b, Src::Bal(bal, 1), &odds, out);
+}
+
+/// Builds a diffracting tree with a single input wire and `w` output
+/// wires, `w` a power of two.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] unless `w` is a power of two
+/// `>= 2`.
+pub fn diffracting_tree(w: usize) -> Result<Network, BuildError> {
+    if w < 2 || !w.is_power_of_two() {
+        return Err(BuildError::InvalidParameter(format!(
+            "a diffracting tree requires a power-of-two output width >= 2, got {w}"
+        )));
+    }
+    let mut b = NetworkBuilder::new(1, w);
+    let positions: Vec<usize> = (0..w).collect();
+    let mut out: Vec<Option<Src>> = vec![None; w];
+    tree_into(&mut b, Src::Input(0), &positions, &mut out);
+    for (i, s) in out.into_iter().enumerate() {
+        feed_output(&mut b, s.expect("every output position assigned"), i);
+    }
+    Ok(b.build_expect("diffracting tree"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balnet::{assign_counter_values, is_step, quiescent_output};
+
+    #[test]
+    fn tree_shape() {
+        for k in 1..8 {
+            let w = 1usize << k;
+            let net = diffracting_tree(w).expect("valid");
+            assert_eq!(net.input_width(), 1);
+            assert_eq!(net.output_width(), w);
+            assert_eq!(net.depth(), k);
+            assert_eq!(net.num_balancers(), w - 1);
+            assert_eq!(net.balancer_census(), vec![((1, 2), w - 1)]);
+        }
+    }
+
+    #[test]
+    fn tree_counts_for_every_token_count() {
+        // With a single input wire, the quiescent output must be the
+        // canonical step sequence of the token count — but note the tree
+        // interleaves bits, so this is not automatic; it is the classic
+        // "tree counter" property.
+        for w in [2usize, 4, 8, 16, 32] {
+            let net = diffracting_tree(w).expect("valid");
+            for m in 0..(4 * w as u64) {
+                let out = quiescent_output(&net, &[m]);
+                assert!(is_step(&out), "tree[{w}] with {m} tokens: {out:?}");
+                assert_eq!(out.iter().sum::<u64>(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_values_are_a_prefix_of_naturals() {
+        let net = diffracting_tree(8).expect("valid");
+        let out = quiescent_output(&net, &[13]);
+        let mut values: Vec<u64> =
+            assign_counter_values(&out).into_iter().flatten().collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_invalid_widths() {
+        assert!(diffracting_tree(0).is_err());
+        assert!(diffracting_tree(1).is_err());
+        assert!(diffracting_tree(6).is_err());
+    }
+}

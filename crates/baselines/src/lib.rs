@@ -1,0 +1,31 @@
+//! # baselines — classic counting networks for comparison
+//!
+//! The paper evaluates its counting network `C(w, t)` against the classic
+//! constructions; this crate implements them on top of the `balnet`
+//! substrate so that the same verification, simulation and runtime
+//! machinery applies to every network:
+//!
+//! * the **bitonic counting network** of Aspnes, Herlihy & Shavit —
+//!   depth `lgw·(lgw+1)/2`, amortized contention `Θ(n·lg²w/w)`;
+//! * the **periodic counting network** of Aspnes, Herlihy & Shavit —
+//!   `lg w` cascaded blocks, depth `lg²w`, contention `O(n·lg³w/w)`;
+//! * the **diffracting tree** of Shavit & Zemach (structural form) — a
+//!   binary tree of `(1,2)`-balancers, depth `lg w`, adversarial
+//!   contention `Θ(n)`;
+//! * a **single central balancer** — the degenerate width-`w` network
+//!   consisting of one `(w, w)`-balancer, the topological analogue of a
+//!   centralized counter.
+//!
+//! All constructors return [`balnet::Network`] topologies.
+
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod difftree;
+pub mod periodic;
+pub mod trivial;
+
+pub use bitonic::{bitonic_counting_network, bitonic_merger};
+pub use difftree::diffracting_tree;
+pub use periodic::{periodic_block, periodic_counting_network};
+pub use trivial::{central_balancer, identity_network};

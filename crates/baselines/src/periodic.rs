@@ -1,0 +1,168 @@
+//! The periodic counting network of Aspnes, Herlihy & Shavit.
+//!
+//! `Periodic[w]` consists of `lg w` identical `Block[w]` networks cascaded
+//! in series. A block is defined via *cochains*: the A-cochain of a
+//! sequence consists of the even entries of its first half together with
+//! the odd entries of its second half, the B-cochain of the remaining
+//! entries. `Block[2k]` routes the A-cochain through one `Block[k]`, the
+//! B-cochain through another, and joins the i-th outputs of the two
+//! sub-blocks with a final layer of balancers feeding output wires `2i`
+//! and `2i+1`. Each block has depth `lg w`, so the full network has depth
+//! `lg²w` and amortized contention `O(n·lg³w/w)` (Dwork, Herlihy &
+//! Waarts) — the weakest of the classic constructions, included as the
+//! second comparison baseline of the paper.
+
+use balnet::{BuildError, Network, NetworkBuilder};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Input(usize),
+    Bal(balnet::BalancerId, usize),
+}
+
+fn feed_balancer(b: &mut NetworkBuilder, src: Src, to: balnet::BalancerId, port: usize) {
+    match src {
+        Src::Input(i) => b.connect_input(i, to, port),
+        Src::Bal(from, from_port) => b.connect(from, from_port, to, port),
+    }
+}
+
+fn feed_output(b: &mut NetworkBuilder, src: Src, output: usize) {
+    match src {
+        Src::Input(i) => b.connect_input_to_output(i, output),
+        Src::Bal(from, from_port) => b.connect_to_output(from, from_port, output),
+    }
+}
+
+/// Adds one `Block[w]` over the given sources, returning the output
+/// sources.
+///
+/// The block is the balancing analogue of one period of the
+/// Dowd–Perl–Rudolph–Saks balanced sorting network: a first layer of
+/// balancers pairing wire `i` with wire `w-1-i` (the "mirror" layer),
+/// followed by a `Block[w/2]` on each half. Each block has depth `lg w`.
+fn block_into(builder: &mut NetworkBuilder, x: &[Src]) -> Vec<Src> {
+    let w = x.len();
+    if w == 1 {
+        return x.to_vec();
+    }
+    // Mirror layer: balancer i joins wires i and w-1-i; its first output
+    // stays on wire i, its second on wire w-1-i.
+    let mut after = vec![None; w];
+    for i in 0..w / 2 {
+        let bal = builder.add_balancer(2, 2);
+        feed_balancer(builder, x[i], bal, 0);
+        feed_balancer(builder, x[w - 1 - i], bal, 1);
+        after[i] = Some(Src::Bal(bal, 0));
+        after[w - 1 - i] = Some(Src::Bal(bal, 1));
+    }
+    let after: Vec<Src> = after.into_iter().map(|s| s.expect("assigned")).collect();
+    // Recurse on the two halves.
+    let (top, bottom) = after.split_at(w / 2);
+    let mut out = block_into(builder, top);
+    out.extend(block_into(builder, bottom));
+    out
+}
+
+/// Builds a single `Block[w]` network (one period of the periodic
+/// network). A block alone is *not* a counting network; `lg w` of them in
+/// series are.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] unless `w` is a power of two
+/// `>= 2`.
+pub fn periodic_block(w: usize) -> Result<Network, BuildError> {
+    if w < 2 || !w.is_power_of_two() {
+        return Err(BuildError::InvalidParameter(format!(
+            "Block[w] requires w to be a power of two >= 2, got {w}"
+        )));
+    }
+    let mut b = NetworkBuilder::new(w, w);
+    let srcs: Vec<Src> = (0..w).map(Src::Input).collect();
+    let out = block_into(&mut b, &srcs);
+    for (i, s) in out.into_iter().enumerate() {
+        feed_output(&mut b, s, i);
+    }
+    Ok(b.build_expect("periodic block"))
+}
+
+/// Builds the periodic counting network `Periodic[w]`: `lg w` cascaded
+/// copies of `Block[w]`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] unless `w` is a power of two
+/// `>= 2`.
+pub fn periodic_counting_network(w: usize) -> Result<Network, BuildError> {
+    let block = periodic_block(w)?;
+    let lgw = w.trailing_zeros() as usize;
+    let mut net = block.clone();
+    for _ in 1..lgw {
+        net = net.cascade(&block).expect("blocks have matching widths");
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balnet::{is_counting_network_exhaustive, is_counting_network_randomized, output_is_step};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_shape() {
+        for k in 1..6 {
+            let w = 1usize << k;
+            let net = periodic_block(w).expect("valid");
+            assert_eq!(net.depth(), k, "Block[{w}] depth");
+            assert_eq!(net.num_balancers(), k * w / 2);
+            assert!(net.is_regular());
+        }
+    }
+
+    #[test]
+    fn periodic_depth_is_lg_squared() {
+        for k in 1..5 {
+            let w = 1usize << k;
+            let net = periodic_counting_network(w).expect("valid");
+            assert_eq!(net.depth(), k * k, "Periodic[{w}]");
+            assert_eq!(net.num_balancers(), k * k * w / 2);
+        }
+    }
+
+    #[test]
+    fn a_single_block_is_not_a_counting_network() {
+        // [0,0,2,0] is a counterexample for Block[4].
+        let net = periodic_block(4).expect("valid");
+        assert!(!output_is_step(&net, &[0, 0, 2, 0]));
+    }
+
+    #[test]
+    fn small_periodic_networks_count_exhaustively() {
+        let p2 = periodic_counting_network(2).expect("valid");
+        assert!(is_counting_network_exhaustive(&p2, 8));
+        let p4 = periodic_counting_network(4).expect("valid");
+        assert!(is_counting_network_exhaustive(&p4, 4));
+    }
+
+    #[test]
+    fn larger_periodic_networks_count_randomized() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for w in [8usize, 16, 32] {
+            let net = periodic_counting_network(w).expect("valid");
+            assert!(
+                is_counting_network_randomized(&net, 120, 64, &mut rng),
+                "Periodic[{w}]"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_widths() {
+        assert!(periodic_block(3).is_err());
+        assert!(periodic_counting_network(0).is_err());
+        assert!(periodic_counting_network(12).is_err());
+    }
+}

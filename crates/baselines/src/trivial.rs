@@ -1,0 +1,79 @@
+//! Trivial comparison topologies: the central balancer and the identity
+//! network.
+//!
+//! A single `(w, w)`-balancer is the topological analogue of a centralized
+//! counter: every token serializes through one shared object, so it is a
+//! perfect counting network with maximal contention (every concurrent
+//! token stalls every other). The identity network (pure wires) is the
+//! degenerate no-op used in tests and as a scaffolding aid.
+
+use balnet::{BuildError, Network, NetworkBuilder};
+
+/// Builds the width-`w` network consisting of a single `(w, w)`-balancer.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] if `w == 0`.
+pub fn central_balancer(w: usize) -> Result<Network, BuildError> {
+    if w == 0 {
+        return Err(BuildError::InvalidParameter(
+            "the central balancer needs a positive width".into(),
+        ));
+    }
+    let mut b = NetworkBuilder::new(w, w);
+    let bal = b.add_balancer(w, w);
+    for i in 0..w {
+        b.connect_input(i, bal, i);
+        b.connect_to_output(bal, i, i);
+    }
+    Ok(b.build_expect("central balancer"))
+}
+
+/// Builds the identity network of width `w`: `w` pure wires and no
+/// balancers.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] if `w == 0`.
+pub fn identity_network(w: usize) -> Result<Network, BuildError> {
+    if w == 0 {
+        return Err(BuildError::InvalidParameter(
+            "the identity network needs a positive width".into(),
+        ));
+    }
+    let mut b = NetworkBuilder::new(w, w);
+    for i in 0..w {
+        b.connect_input_to_output(i, i);
+    }
+    Ok(b.build_expect("identity network"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balnet::{is_counting_network_exhaustive, quiescent_output};
+
+    #[test]
+    fn central_balancer_counts() {
+        for w in [1usize, 2, 4, 6, 8] {
+            let net = central_balancer(w).expect("valid");
+            assert_eq!(net.depth(), 1);
+            assert_eq!(net.num_balancers(), 1);
+            assert!(is_counting_network_exhaustive(&net, 3), "central balancer width {w}");
+        }
+    }
+
+    #[test]
+    fn identity_network_is_a_no_op() {
+        let net = identity_network(4).expect("valid");
+        assert_eq!(net.depth(), 0);
+        let input = [3u64, 1, 4, 1];
+        assert_eq!(quiescent_output(&net, &input), input.to_vec());
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(central_balancer(0).is_err());
+        assert!(identity_network(0).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion bench for experiment E5: simulated contention runs of the
+//! comparison suite at low and high concurrency. The stall numbers
+//! themselves are printed by `exp_contention`; this bench tracks the cost
+//! of the simulation (and therefore scales with the number of stalls).
+
+use std::time::Duration;
+
+use bench::comparison_suite;
+use counting_sim::{measure_contention, SchedulerKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_contention(c: &mut Criterion) {
+    let w = 16usize;
+    let suite = comparison_suite(w);
+    let tokens_per_process = 20u64;
+    for &n in &[w, 8 * w] {
+        let mut group = c.benchmark_group(format!("simulate-n{n}"));
+        for named in &suite {
+            group.bench_with_input(BenchmarkId::new(&named.name, n), &n, |b, &n| {
+                b.iter(|| {
+                    measure_contention(
+                        &named.network,
+                        n,
+                        tokens_per_process * n as u64,
+                        SchedulerKind::RoundRobin,
+                        1,
+                    )
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_contention
+}
+criterion_main!(benches);

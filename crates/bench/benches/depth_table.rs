@@ -1,0 +1,46 @@
+//! Criterion bench for experiment E2: construction cost of every network
+//! family across widths (the depth/size tables themselves are printed by
+//! `exp_depth`).
+
+use std::time::Duration;
+
+use baselines::{bitonic_counting_network, periodic_counting_network};
+use counting::{counting_network, merging_network};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    for &w in &[16usize, 64, 256] {
+        let lgw = w.trailing_zeros() as usize;
+        group.bench_with_input(BenchmarkId::new("C(w,w)", w), &w, |b, &w| {
+            b.iter(|| counting_network(w, w).expect("valid"));
+        });
+        group.bench_with_input(BenchmarkId::new("C(w,w.lgw)", w), &w, |b, &w| {
+            b.iter(|| counting_network(w, w * lgw).expect("valid"));
+        });
+        group.bench_with_input(BenchmarkId::new("Bitonic", w), &w, |b, &w| {
+            b.iter(|| bitonic_counting_network(w).expect("valid"));
+        });
+        group.bench_with_input(BenchmarkId::new("Periodic", w), &w, |b, &w| {
+            b.iter(|| periodic_counting_network(w).expect("valid"));
+        });
+    }
+    group.bench_function("M(1024,16)", |b| {
+        b.iter(|| merging_network(1024, 16).expect("valid"));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_construction
+}
+criterion_main!(benches);

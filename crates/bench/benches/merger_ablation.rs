@@ -1,0 +1,59 @@
+//! Criterion bench for the design ablation called out in `DESIGN.md`:
+//! the difference merging network `M(t, δ)` (depth `lg δ`) against the
+//! bitonic merger (depth `lg t`) as the merging stage, at equal width.
+//! Shorter mergers mean fewer balancers per token, which shows up both in
+//! evaluation time here and in the simulated contention reported by
+//! `exp_contention`.
+
+use std::time::Duration;
+
+use balnet::{quiescent_output, step_sequence};
+use baselines::bitonic_merger;
+use counting::merging_network;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use counting_sim::{measure_contention, SchedulerKind};
+
+fn bench_merger_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merger-ablation");
+    for &t in &[64usize, 256] {
+        let delta = 8usize; // the difference bound C(w,t) actually needs is w/2
+        let ours = merging_network(t, delta).expect("valid");
+        let bitonic = bitonic_merger(t).expect("valid");
+        // Step halves differing by at most delta — the contract both satisfy.
+        let mut input = step_sequence(1_000 + delta as u64, t / 2);
+        input.extend(step_sequence(1_000, t / 2));
+
+        group.bench_with_input(BenchmarkId::new("M(t,8)-eval", t), &input, |b, input| {
+            b.iter(|| quiescent_output(&ours, input));
+        });
+        group.bench_with_input(BenchmarkId::new("bitonic-merger-eval", t), &input, |b, input| {
+            b.iter(|| quiescent_output(&bitonic, input));
+        });
+
+        // Simulated merge traffic: n processes pushing tokens through the
+        // merger under lock-step scheduling.
+        let n = t;
+        let m = 10 * n as u64;
+        group.bench_with_input(BenchmarkId::new("M(t,8)-simulate", t), &n, |b, &n| {
+            b.iter(|| measure_contention(&ours, n, m, SchedulerKind::RoundRobin, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("bitonic-merger-simulate", t), &n, |b, &n| {
+            b.iter(|| measure_contention(&bitonic, n, m, SchedulerKind::RoundRobin, 1));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_merger_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for experiment E4: quiescent evaluation of the
+//! smoothing networks (butterfly and prefix) at realistic widths. The
+//! smoothing *values* are reported by `exp_smoothing`; this bench tracks
+//! evaluation cost, which is what the verification suites and the
+//! simulator lean on.
+
+use std::time::Duration;
+
+use balnet::quiescent_output;
+use counting::{counting_prefix, forward_butterfly};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_smoothing_eval(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut group = c.benchmark_group("quiescent-eval");
+    for &w in &[64usize, 256, 1024] {
+        let input: Vec<u64> = (0..w).map(|_| rng.gen_range(0..1_000)).collect();
+        let butterfly = forward_butterfly(w).expect("valid");
+        group.bench_with_input(BenchmarkId::new("butterfly", w), &input, |b, input| {
+            b.iter(|| quiescent_output(&butterfly, input));
+        });
+        let prefix = counting_prefix(w, 4 * w).expect("valid");
+        group.bench_with_input(BenchmarkId::new("prefix-C'(w,4w)", w), &input, |b, input| {
+            b.iter(|| quiescent_output(&prefix, input));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_smoothing_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for experiment E8: sorting with the comparator network
+//! derived from `C(w, w)` versus the bitonic sorter and `slice::sort`.
+
+use std::time::Duration;
+
+use baselines::bitonic_counting_network;
+use counting::counting_network;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sortnet::ComparatorNetwork;
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("sorting");
+    for &w in &[64usize, 256] {
+        let data: Vec<u32> = (0..w).map(|_| rng.gen()).collect();
+        let ours = ComparatorNetwork::from_balancing(counting_network(w, w).expect("valid"))
+            .expect("regular");
+        let bitonic =
+            ComparatorNetwork::from_balancing(bitonic_counting_network(w).expect("valid"))
+                .expect("regular");
+        group.bench_with_input(BenchmarkId::new("C(w,w)-sorter", w), &data, |b, data| {
+            b.iter(|| ours.apply(data));
+        });
+        group.bench_with_input(BenchmarkId::new("bitonic-sorter", w), &data, |b, data| {
+            b.iter(|| bitonic.apply(data));
+        });
+        group.bench_with_input(BenchmarkId::new("std-sort", w), &data, |b, data| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    d.sort_unstable_by(|a, b| b.cmp(a));
+                    d
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sorting
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for experiment E7: concurrent Fetch&Increment
+//! throughput of the network counters against the centralized baselines.
+//! The full thread sweep is printed by `exp_throughput`; here we keep two
+//! representative thread counts so `cargo bench` stays quick.
+
+use std::time::Duration;
+
+use bench::comparison_suite;
+use counting_runtime::{measure_throughput, CentralCounter, LockCounter, NetworkCounter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_throughput(c: &mut Criterion) {
+    let w = 16usize;
+    let suite = comparison_suite(w);
+    let ops_per_thread = 10_000u64;
+    for &threads in &[1usize, 4] {
+        let mut group = c.benchmark_group(format!("fetch_increment-{threads}thr"));
+        group.throughput(Throughput::Elements(ops_per_thread * threads as u64));
+        for named in &suite {
+            group.bench_with_input(BenchmarkId::new(&named.name, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    let counter = NetworkCounter::new(named.name.clone(), &named.network);
+                    measure_throughput(&counter, threads, ops_per_thread)
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("central", threads), &threads, |b, &threads| {
+            b.iter(|| measure_throughput(&CentralCounter::new(), threads, ops_per_thread));
+        });
+        group.bench_with_input(BenchmarkId::new("mutex", threads), &threads, |b, &threads| {
+            b.iter(|| measure_throughput(&LockCounter::new(), threads, ops_per_thread));
+        });
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_throughput
+}
+criterion_main!(benches);

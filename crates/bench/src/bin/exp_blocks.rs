@@ -1,0 +1,54 @@
+//! Experiment E6 — per-block contention of `C(w, t)` (Section 1.3.2).
+//!
+//! Attributes the measured stalls to the blocks `N_a`, `N_b`, `N_c` of the
+//! unfolded construction and shows how the dominant block `N_c` cools down
+//! as the output width `t` grows while `N_a`/`N_b` stay fixed.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_blocks`
+
+use bench::Table;
+use counting::{block_of_layer, counting_network, BlockKind};
+use counting_sim::{measure_contention, SchedulerKind};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let w = 16usize;
+    let n = 8 * w;
+    let tokens_per_process: u64 = if quick { 10 } else { 60 };
+    let m = tokens_per_process * n as u64;
+
+    println!("## E6 — per-block amortized contention of C({w}, t), n = {n}, round-robin\n");
+    let mut table = Table::new(vec![
+        "t", "depth", "Na stalls/token", "Nb stalls/token", "Nc stalls/token", "total",
+    ]);
+    for p in [1usize, 2, 4, 8, 16] {
+        let t = w * p;
+        let net = counting_network(w, t).expect("valid");
+        let report = measure_contention(&net, n, m, SchedulerKind::RoundRobin, 1);
+        let mut per_block = [0u64; 3];
+        for layer in 1..=net.depth() {
+            let idx = match block_of_layer(w, layer) {
+                BlockKind::A => 0,
+                BlockKind::B => 1,
+                BlockKind::C => 2,
+            };
+            per_block[idx] += report.per_layer_stalls[layer - 1];
+        }
+        let per_token = |stalls: u64| format!("{:.2}", stalls as f64 / m as f64);
+        table.push_row(vec![
+            t.to_string(),
+            net.depth().to_string(),
+            per_token(per_block[0]),
+            per_token(per_block[1]),
+            per_token(per_block[2]),
+            format!("{:.2}", report.amortized_contention),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "Reading the table: Na and Nb have fixed width w, so their per-token stalls are\n\
+         essentially independent of t; Nc has width t and dominates the depth, and its\n\
+         per-token stalls fall as t grows — exactly the structural argument of\n\
+         Section 1.3.2 for why contention decreases with t."
+    );
+}

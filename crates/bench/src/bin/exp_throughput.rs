@@ -1,0 +1,79 @@
+//! Experiment E7 — concurrent Fetch&Increment throughput (the IPPS'98 /
+//! Klein experimental comparison, on threads instead of ten SPARC
+//! workstations).
+//!
+//! Drives every counter in the comparison suite (plus the centralized
+//! baselines) with an increasing number of threads and reports operations
+//! per second.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_throughput`
+
+use bench::{comparison_suite, Table};
+use counting_runtime::{
+    measure_throughput, CentralCounter, DiffractingCounter, LockCounter, NetworkCounter,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let w = 16usize;
+    let ops_per_thread: u64 = if quick { 2_000 } else { 50_000 };
+    let hardware = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let thread_counts: Vec<usize> =
+        [1usize, 2, 4, 8, 16, 32].into_iter().filter(|&t| t <= 4 * hardware).collect();
+
+    println!(
+        "## E7 — Fetch&Increment throughput (ops/s), {} hardware threads, {} ops/thread\n",
+        hardware, ops_per_thread
+    );
+    let mut header = vec!["counter".to_owned()];
+    header.extend(thread_counts.iter().map(|t| format!("{t} thr")));
+    let mut table = Table::new(header);
+
+    let suite = comparison_suite(w);
+    for named in &suite {
+        let mut row = vec![named.name.clone()];
+        for &threads in &thread_counts {
+            let counter = NetworkCounter::new(named.name.clone(), &named.network);
+            let m = measure_throughput(&counter, threads, ops_per_thread);
+            row.push(format!("{:.0}k", m.ops_per_second / 1_000.0));
+        }
+        table.push_row(row);
+    }
+    enum Extra {
+        Prism,
+        Central,
+        Mutex,
+    }
+    for (name, kind) in [
+        ("prism DiffTree", Extra::Prism),
+        ("central fetch_add", Extra::Central),
+        ("mutex counter", Extra::Mutex),
+    ] {
+        let mut row = vec![name.to_owned()];
+        for &threads in &thread_counts {
+            let ops = match kind {
+                Extra::Prism => {
+                    let counter = DiffractingCounter::new(w, 8, 128);
+                    measure_throughput(&counter, threads, ops_per_thread).ops_per_second
+                }
+                Extra::Central => {
+                    measure_throughput(&CentralCounter::new(), threads, ops_per_thread)
+                        .ops_per_second
+                }
+                Extra::Mutex => {
+                    measure_throughput(&LockCounter::new(), threads, ops_per_thread).ops_per_second
+                }
+            };
+            row.push(format!("{:.0}k", ops / 1_000.0));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "Notes: absolute numbers depend on the machine; the figures of interest are the\n\
+         relative trends — the centralized counters stop scaling once threads contend on\n\
+         one cache line, while the network counters degrade much more gently and the\n\
+         wide-output C(w, w·lgw) tracks or beats the other counting networks at high\n\
+         thread counts (the paper's throughput claim)."
+    );
+}

@@ -1,0 +1,208 @@
+//! Compilation of a network topology into a lock-free shared data
+//! structure.
+//!
+//! A [`balnet::Network`] is a validated DAG description. For concurrent
+//! execution we flatten it: each balancer becomes one cache-padded atomic
+//! word holding the number of tokens it has processed (its state is that
+//! count modulo its fan-out), and each wire becomes a pre-resolved route
+//! to either another balancer or an output wire. A token traversal is then
+//! a short loop of `fetch_add` operations with no locks and no allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use balnet::{Network, Port};
+use crossbeam::utils::CachePadded;
+
+/// Where a wire leads in the compiled form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// The wire feeds the balancer with this index.
+    Balancer(u32),
+    /// The wire is the network output wire with this index.
+    Output(u32),
+}
+
+fn compile_port(port: Port) -> Route {
+    match port {
+        Port::Balancer { balancer, .. } => Route::Balancer(balancer as u32),
+        Port::Output(o) => Route::Output(o as u32),
+    }
+}
+
+/// One balancer in compiled form.
+#[derive(Debug)]
+struct CompiledBalancer {
+    /// Number of tokens processed so far. The balancer's state is
+    /// `processed % fan_out`.
+    processed: CachePadded<AtomicU64>,
+    fan_out: u32,
+    /// Route of each output wire (`outputs.len() == fan_out`).
+    outputs: Box<[Route]>,
+}
+
+/// A lock-free compiled balancing network, shareable across threads.
+///
+/// The compiled network only captures topology and balancer state; value
+/// dispensing (Fetch&Increment) is layered on top by
+/// [`crate::NetworkCounter`].
+#[derive(Debug)]
+pub struct CompiledNetwork {
+    input_width: usize,
+    output_width: usize,
+    inputs: Box<[Route]>,
+    balancers: Box<[CompiledBalancer]>,
+}
+
+impl CompiledNetwork {
+    /// Compiles a validated topology.
+    #[must_use]
+    pub fn new(network: &Network) -> Self {
+        let balancers = network
+            .balancers()
+            .iter()
+            .map(|b| CompiledBalancer {
+                processed: CachePadded::new(AtomicU64::new(0)),
+                fan_out: b.fan_out as u32,
+                outputs: b.outputs.iter().map(|&p| compile_port(p)).collect(),
+            })
+            .collect();
+        Self {
+            input_width: network.input_width(),
+            output_width: network.output_width(),
+            inputs: network.inputs().iter().map(|&p| compile_port(p)).collect(),
+            balancers,
+        }
+    }
+
+    /// The network's input width.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.input_width
+    }
+
+    /// The network's output width.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.output_width
+    }
+
+    /// Shepherds one token from `input_wire` to an output wire and returns
+    /// the output wire index. Lock-free: one `fetch_add` per traversed
+    /// balancer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_wire >= input_width()`.
+    #[must_use]
+    pub fn traverse(&self, input_wire: usize) -> usize {
+        assert!(input_wire < self.input_width, "input wire {input_wire} out of range");
+        let mut route = self.inputs[input_wire];
+        loop {
+            match route {
+                Route::Balancer(idx) => {
+                    let b = &self.balancers[idx as usize];
+                    // Relaxed suffices: correctness relies only on the
+                    // atomicity (per-location total order) of the RMW.
+                    let ticket = b.processed.fetch_add(1, Ordering::Relaxed);
+                    let out = (ticket % u64::from(b.fan_out)) as usize;
+                    route = b.outputs[out];
+                }
+                Route::Output(o) => return o as usize,
+            }
+        }
+    }
+
+    /// The number of tokens each balancer has processed so far (a snapshot;
+    /// exact only in a quiescent state).
+    #[must_use]
+    pub fn balancer_loads(&self) -> Vec<u64> {
+        self.balancers.iter().map(|b| b.processed.load(Ordering::Relaxed)).collect()
+    }
+
+    /// The number of tokens that have exited on each output wire so far,
+    /// reconstructed from the balancer states feeding the outputs. Exact
+    /// only in a quiescent state (no token mid-traversal); intended for
+    /// post-run verification in tests and benches.
+    #[must_use]
+    pub fn quiescent_output_counts(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.output_width];
+        // Tokens that entered each balancer: recompute by replaying the
+        // step distribution of each balancer's processed count in topo
+        // order is unnecessary here — each balancer records its own total,
+        // so we can directly add its per-output distribution.
+        for b in self.balancers.iter() {
+            let total = b.processed.load(Ordering::Relaxed);
+            for (i, route) in b.outputs.iter().enumerate() {
+                if let Route::Output(o) = route {
+                    out[*o as usize] += balnet::seq::step_value(total, i, b.fan_out as usize);
+                }
+            }
+        }
+        // Plus tokens that went straight from an input wire to an output
+        // wire (no balancer): those are not tracked here — compiled
+        // networks with balancer-free paths should be verified via
+        // `NetworkCounter` value sets instead.
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balnet::quiescent_output;
+    use counting::counting_network;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sequential_traversal_matches_quiescent_evaluation() {
+        let net = counting_network(8, 16).expect("valid");
+        let compiled = CompiledNetwork::new(&net);
+        let input = [5u64, 3, 0, 7, 2, 2, 9, 1];
+        let mut counts = vec![0u64; 16];
+        for (wire, &tokens) in input.iter().enumerate() {
+            for _ in 0..tokens {
+                counts[compiled.traverse(wire)] += 1;
+            }
+        }
+        assert_eq!(counts, quiescent_output(&net, &input));
+        assert_eq!(compiled.quiescent_output_counts(), counts);
+    }
+
+    #[test]
+    fn concurrent_traversal_preserves_token_count_and_step_property() {
+        let w = 8;
+        let net = counting_network(w, 2 * w).expect("valid");
+        let compiled = CompiledNetwork::new(&net);
+        let threads = 8;
+        let per_thread = 2_000u64;
+        let exit_counts: Vec<AtomicUsize> =
+            (0..compiled.output_width()).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let compiled = &compiled;
+                let exit_counts = &exit_counts;
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        let o = compiled.traverse(tid % w);
+                        exit_counts[o].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let counts: Vec<u64> =
+            exit_counts.iter().map(|c| c.load(Ordering::Relaxed) as u64).collect();
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, threads as u64 * per_thread);
+        // In the quiescent state after all threads joined, the output must
+        // satisfy the step property (Theorem 4.2 under real concurrency).
+        assert!(balnet::is_step(&counts), "concurrent output not step: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn traverse_checks_bounds() {
+        let net = counting_network(4, 4).expect("valid");
+        let compiled = CompiledNetwork::new(&net);
+        let _ = compiled.traverse(4);
+    }
+}

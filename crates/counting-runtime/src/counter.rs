@@ -1,0 +1,201 @@
+//! Shared Fetch&Increment counters.
+//!
+//! The whole point of a counting network is to implement a shared counter
+//! whose `fetch_increment` operations do not all serialize on a single
+//! memory location (Section 1.1). This module provides the network-backed
+//! counter and the two centralized baselines it is compared against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use balnet::Network;
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::compiled::CompiledNetwork;
+
+/// A shared counter handing out distinct values `0, 1, 2, ...` to
+/// concurrent callers.
+pub trait SharedCounter: Sync {
+    /// Obtains the next counter value. `thread_id` identifies the calling
+    /// process (used by network-backed counters to pick the input wire
+    /// `thread_id mod w`, mirroring the paper's process-to-wire
+    /// assignment).
+    fn next(&self, thread_id: usize) -> u64;
+
+    /// A short human-readable description used in benchmark output.
+    fn describe(&self) -> String;
+}
+
+/// A Fetch&Increment counter backed by a counting network: tokens traverse
+/// the compiled network and draw their value from the dispenser `v_i` of
+/// the output wire they exit on (`v_i` starts at `i` and steps by the
+/// output width `t`).
+#[derive(Debug)]
+pub struct NetworkCounter {
+    name: String,
+    network: CompiledNetwork,
+    dispensers: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl NetworkCounter {
+    /// Builds a counter from a network topology.
+    #[must_use]
+    pub fn new(name: impl Into<String>, network: &Network) -> Self {
+        let compiled = CompiledNetwork::new(network);
+        let dispensers = (0..compiled.output_width() as u64)
+            .map(|i| CachePadded::new(AtomicU64::new(i)))
+            .collect();
+        Self { name: name.into(), network: compiled, dispensers }
+    }
+
+    /// The input width of the underlying network.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.network.input_width()
+    }
+
+    /// The output width of the underlying network.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.network.output_width()
+    }
+}
+
+impl SharedCounter for NetworkCounter {
+    fn next(&self, thread_id: usize) -> u64 {
+        let wire = thread_id % self.network.input_width();
+        let out = self.network.traverse(wire);
+        let t = self.network.output_width() as u64;
+        self.dispensers[out].fetch_add(t, Ordering::Relaxed)
+    }
+
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// The centralized baseline: a single atomic word everybody `fetch_add`s.
+/// Minimal latency, maximal memory contention.
+#[derive(Debug, Default)]
+pub struct CentralCounter {
+    value: CachePadded<AtomicU64>,
+}
+
+impl CentralCounter {
+    /// Creates a counter starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SharedCounter for CentralCounter {
+    fn next(&self, _thread_id: usize) -> u64 {
+        self.value.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn describe(&self) -> String {
+        "central fetch_add".into()
+    }
+}
+
+/// A mutex-protected counter — the naive lock-based implementation.
+#[derive(Debug, Default)]
+pub struct LockCounter {
+    value: Mutex<u64>,
+}
+
+impl LockCounter {
+    /// Creates a counter starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SharedCounter for LockCounter {
+    fn next(&self, _thread_id: usize) -> u64 {
+        let mut guard = self.value.lock();
+        let v = *guard;
+        *guard += 1;
+        v
+    }
+
+    fn describe(&self) -> String {
+        "mutex counter".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counting::counting_network;
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+
+    fn collect_concurrent_values<C: SharedCounter>(
+        counter: &C,
+        threads: usize,
+        per_thread: usize,
+    ) -> Vec<u64> {
+        let all = StdMutex::new(Vec::with_capacity(threads * per_thread));
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let all = &all;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(per_thread);
+                    for _ in 0..per_thread {
+                        local.push(counter.next(tid));
+                    }
+                    all.lock().expect("poisoned").extend(local);
+                });
+            }
+        });
+        all.into_inner().expect("poisoned")
+    }
+
+    fn assert_values_are_exact_range(values: &[u64]) {
+        let m = values.len() as u64;
+        let set: HashSet<u64> = values.iter().copied().collect();
+        assert_eq!(set.len() as u64, m, "duplicate values handed out");
+        assert_eq!(*values.iter().max().expect("non-empty"), m - 1, "values must be 0..m-1");
+    }
+
+    #[test]
+    fn network_counter_hands_out_unique_values_sequentially() {
+        let net = counting_network(4, 8).expect("valid");
+        let counter = NetworkCounter::new("C(4,8)", &net);
+        let values: Vec<u64> = (0..100).map(|i| counter.next(i % 4)).collect();
+        assert_values_are_exact_range(&values);
+    }
+
+    #[test]
+    fn network_counter_hands_out_unique_values_concurrently() {
+        let net = counting_network(8, 24).expect("valid");
+        let counter = NetworkCounter::new("C(8,24)", &net);
+        let values = collect_concurrent_values(&counter, 8, 2_000);
+        assert_values_are_exact_range(&values);
+    }
+
+    #[test]
+    fn central_counter_hands_out_unique_values_concurrently() {
+        let counter = CentralCounter::new();
+        let values = collect_concurrent_values(&counter, 8, 2_000);
+        assert_values_are_exact_range(&values);
+    }
+
+    #[test]
+    fn lock_counter_hands_out_unique_values_concurrently() {
+        let counter = LockCounter::new();
+        let values = collect_concurrent_values(&counter, 4, 1_000);
+        assert_values_are_exact_range(&values);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let net = counting_network(2, 2).expect("valid");
+        assert_eq!(NetworkCounter::new("C(2,2)", &net).describe(), "C(2,2)");
+        assert!(CentralCounter::new().describe().contains("central"));
+        assert!(LockCounter::new().describe().contains("mutex"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # counting-runtime — concurrent shared-memory execution of balancing
+//! networks
+//!
+//! The paper's target platform is an MIMD shared-memory multiprocessor on
+//! which each balancer is a shared memory location traversed by `n`
+//! asynchronous processes (Section 1.2), and its experimental evaluation
+//! compares the throughput of `C(w, t)` against the bitonic and periodic
+//! networks on real hardware. This crate is that substrate, built on
+//! modern Rust atomics:
+//!
+//! * [`CompiledNetwork`] — a lock-free, cache-friendly compilation of any
+//!   [`balnet::Network`] topology: every balancer is a single atomic word
+//!   updated with `fetch_add`, wires are index lookups.
+//! * [`NetworkCounter`] — a Fetch&Increment shared counter backed by a
+//!   compiled network plus per-output-wire value dispensers, exactly the
+//!   construction of Section 1.1.
+//! * [`CentralCounter`] and [`LockCounter`] — the centralized baselines
+//!   (a single `fetch_add` hotspot and a mutex-protected counter).
+//! * [`throughput`] — a measurement harness that drives any
+//!   [`SharedCounter`] with `n` threads and reports operations per second,
+//!   reproducing the shape of the paper's throughput comparison
+//!   (experiment E7 in `DESIGN.md`).
+//!
+//! Concurrency-correctness notes: every balancer traversal is a single
+//! atomic `fetch_add` (so balancer state transitions are linearizable per
+//! balancer), and every output wire's dispenser is an atomic `fetch_add`
+//! stepping by the output width. Relaxed ordering suffices throughout —
+//! the counting guarantee rests only on the per-location modification
+//! orders, not on cross-location happens-before — which is also what makes
+//! the structure genuinely low-contention in hardware.
+
+#![warn(missing_docs)]
+
+pub mod compiled;
+pub mod counter;
+pub mod diffracting;
+pub mod throughput;
+
+pub use compiled::CompiledNetwork;
+pub use counter::{CentralCounter, LockCounter, NetworkCounter, SharedCounter};
+pub use diffracting::DiffractingCounter;
+pub use throughput::{measure_throughput, ThroughputMeasurement};

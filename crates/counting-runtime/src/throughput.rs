@@ -1,0 +1,101 @@
+//! Throughput measurement harness.
+//!
+//! The paper's experimental comparison (and the IPPS'98 evaluation it
+//! references) measures how many Fetch&Increment operations per second a
+//! counter sustains as the number of concurrent processes grows. This
+//! module drives any [`SharedCounter`] with `n` threads performing a fixed
+//! number of operations each and reports the aggregate rate.
+
+use std::time::{Duration, Instant};
+
+use crate::counter::SharedCounter;
+
+/// The result of one throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputMeasurement {
+    /// Description of the counter under test.
+    pub counter: String,
+    /// Number of threads that drove the counter.
+    pub threads: usize,
+    /// Operations performed per thread.
+    pub ops_per_thread: u64,
+    /// Total operations across all threads.
+    pub total_ops: u64,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+    /// Aggregate operations per second.
+    pub ops_per_second: f64,
+}
+
+/// Runs `threads` threads, each performing `ops_per_thread` calls to
+/// `counter.next`, and measures the aggregate throughput.
+///
+/// The measurement includes thread start-up; callers interested in steady
+/// state should use a large enough `ops_per_thread` that start-up cost is
+/// negligible (the benches use tens of thousands of operations per
+/// thread).
+#[must_use]
+pub fn measure_throughput<C: SharedCounter + ?Sized>(
+    counter: &C,
+    threads: usize,
+    ops_per_thread: u64,
+) -> ThroughputMeasurement {
+    assert!(threads > 0, "at least one thread is required");
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            scope.spawn(move || {
+                for _ in 0..ops_per_thread {
+                    // The value is intentionally discarded; the side effect
+                    // of advancing the shared counter is the workload.
+                    let _ = counter.next(tid);
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let total_ops = threads as u64 * ops_per_thread;
+    ThroughputMeasurement {
+        counter: counter.describe(),
+        threads,
+        ops_per_thread,
+        total_ops,
+        elapsed,
+        ops_per_second: total_ops as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{CentralCounter, NetworkCounter};
+    use counting::counting_network;
+
+    #[test]
+    fn measurement_accounts_for_all_operations() {
+        let counter = CentralCounter::new();
+        let m = measure_throughput(&counter, 4, 1_000);
+        assert_eq!(m.total_ops, 4_000);
+        assert!(m.ops_per_second > 0.0);
+        assert_eq!(m.threads, 4);
+        // All operations really happened.
+        assert_eq!(counter.next(0), 4_000);
+    }
+
+    #[test]
+    fn network_counter_throughput_runs() {
+        let net = counting_network(8, 8).expect("valid");
+        let counter = NetworkCounter::new("C(8,8)", &net);
+        let m = measure_throughput(&counter, 4, 500);
+        assert_eq!(m.total_ops, 2_000);
+        assert!(m.elapsed > Duration::ZERO);
+        assert_eq!(m.counter, "C(8,8)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let counter = CentralCounter::new();
+        let _ = measure_throughput(&counter, 0, 10);
+    }
+}

@@ -1,0 +1,141 @@
+//! Contention measurement helpers and parameter sweeps.
+//!
+//! These wrap [`crate::Simulation`] into the measurements the paper's
+//! evaluation needs: amortized contention of a network at a given
+//! concurrency, and sweeps over the concurrency `n` (and, for `C(w, t)`,
+//! the output width `t`) producing serializable rows that the benchmark
+//! harness turns into the tables of `EXPERIMENTS.md`.
+
+use balnet::Network;
+use serde::{Deserialize, Serialize};
+
+use crate::report::ContentionReport;
+use crate::scheduler::SchedulerKind;
+use crate::sim::{SimConfig, Simulation};
+
+/// One measured point of a contention sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentionPoint {
+    /// Human-readable name of the network (e.g. `"C(16,64)"`).
+    pub network: String,
+    /// Input width of the network.
+    pub input_width: usize,
+    /// Output width of the network.
+    pub output_width: usize,
+    /// Depth of the network.
+    pub depth: usize,
+    /// Concurrency `n` of the run.
+    pub concurrency: usize,
+    /// Number of tokens `m` pushed through.
+    pub total_tokens: u64,
+    /// The scheduler used.
+    pub scheduler: String,
+    /// Measured amortized contention (stalls per token).
+    pub amortized_contention: f64,
+}
+
+/// Measures the amortized contention of `network` at concurrency `n` with
+/// `m` tokens under the given scheduler.
+#[must_use]
+pub fn measure_contention(
+    network: &Network,
+    n: usize,
+    m: u64,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> ContentionReport {
+    let mut sched = scheduler.build(seed);
+    Simulation::new(network, SimConfig { concurrency: n, total_tokens: m }).run(sched.as_mut())
+}
+
+/// Sweeps the concurrency over `concurrencies`, pushing `tokens_per_process`
+/// tokens per process at each point, and returns one [`ContentionPoint`]
+/// per concurrency value.
+#[must_use]
+pub fn sweep_concurrency(
+    name: &str,
+    network: &Network,
+    concurrencies: &[usize],
+    tokens_per_process: u64,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> Vec<ContentionPoint> {
+    concurrencies
+        .iter()
+        .map(|&n| {
+            let m = tokens_per_process * n as u64;
+            let report = measure_contention(network, n, m, scheduler, seed);
+            ContentionPoint {
+                network: name.to_owned(),
+                input_width: network.input_width(),
+                output_width: network.output_width(),
+                depth: network.depth(),
+                concurrency: n,
+                total_tokens: m,
+                scheduler: scheduler.name().to_owned(),
+                amortized_contention: report.amortized_contention,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::bitonic_counting_network;
+    use counting::counting_network;
+
+    #[test]
+    fn contention_grows_with_concurrency() {
+        let net = counting_network(8, 8).expect("valid");
+        let points = sweep_concurrency(
+            "C(8,8)",
+            &net,
+            &[1, 8, 32],
+            40,
+            SchedulerKind::RoundRobin,
+            1,
+        );
+        assert_eq!(points.len(), 3);
+        assert!(points[0].amortized_contention <= points[1].amortized_contention);
+        assert!(points[1].amortized_contention < points[2].amortized_contention);
+    }
+
+    #[test]
+    fn wider_output_reduces_contention_at_high_concurrency() {
+        // The paper's headline claim (Section 1.3.1): at high concurrency,
+        // C(w, w·lgw) has lower contention than C(w, w) — and than the
+        // bitonic network of the same input width.
+        let w = 8;
+        let n = 64;
+        let m = 64 * 40;
+        let narrow = counting_network(w, w).expect("valid");
+        let wide = counting_network(w, w * 3).expect("valid"); // t = w·lgw = 24
+        let bitonic = bitonic_counting_network(w).expect("valid");
+        let c_narrow =
+            measure_contention(&narrow, n, m, SchedulerKind::RoundRobin, 0).amortized_contention;
+        let c_wide =
+            measure_contention(&wide, n, m, SchedulerKind::RoundRobin, 0).amortized_contention;
+        let c_bitonic =
+            measure_contention(&bitonic, n, m, SchedulerKind::RoundRobin, 0).amortized_contention;
+        assert!(
+            c_wide < c_narrow,
+            "C({w},{}) should beat C({w},{w}) at n={n}: {c_wide} vs {c_narrow}",
+            w * 3
+        );
+        assert!(
+            c_wide < c_bitonic,
+            "C({w},{}) should beat Bitonic[{w}] at n={n}: {c_wide} vs {c_bitonic}",
+            w * 3
+        );
+    }
+
+    #[test]
+    fn points_serialize() {
+        let net = counting_network(4, 4).expect("valid");
+        let points =
+            sweep_concurrency("C(4,4)", &net, &[4], 10, SchedulerKind::Random, 7);
+        let json = serde_json::to_string(&points).expect("serialize");
+        assert!(json.contains("C(4,4)"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Linearizability analysis of counting executions (Section 1.4.2).
+//!
+//! A counting implementation is *linearizable* if whenever token `τ_1`
+//! exits the network (receives its value) before token `τ_2` enters, then
+//! `τ_1`'s value is smaller than `τ_2`'s. Herlihy, Shavit & Waarts showed
+//! that low-contention wait-free linearizable counting requires `Ω(n)`
+//! latency, and the paper points out that `C(w, t)` — like every classic
+//! counting network — is *not* linearizable. This module detects and
+//! counts linearizability violations in recorded simulation runs (see
+//! [`crate::Simulation::record_tokens`]), which lets the test-suite
+//! exhibit concrete non-linearizable schedules and verify that the
+//! degenerate single-balancer counter *is* linearizable.
+
+use crate::report::TokenRecord;
+
+/// A concrete witness of a linearizability violation: the `earlier` token
+/// exited before the `later` token entered, yet received a larger value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The token that finished first (with the larger value).
+    pub earlier: TokenRecord,
+    /// The token that started later (with the smaller value).
+    pub later: TokenRecord,
+}
+
+/// Finds all linearizability violations in a recorded run.
+///
+/// Runs in `O(k log k)` for `k` tokens by sorting on entry time and
+/// scanning with a running maximum of values of tokens that exited before
+/// each entry point — sufficient for counting violations; the witnesses
+/// returned are one per offending later-token.
+#[must_use]
+pub fn violations(tokens: &[TokenRecord]) -> Vec<Violation> {
+    let mut by_exit: Vec<&TokenRecord> = tokens.iter().collect();
+    by_exit.sort_by_key(|t| t.exit_time);
+    let mut by_enter: Vec<&TokenRecord> = tokens.iter().collect();
+    by_enter.sort_by_key(|t| t.enter_time);
+
+    let mut result = Vec::new();
+    let mut exit_idx = 0usize;
+    // The token with the maximum value among those that have already
+    // exited strictly before the current entry time.
+    let mut max_exited: Option<&TokenRecord> = None;
+    for later in by_enter {
+        while exit_idx < by_exit.len() && by_exit[exit_idx].exit_time < later.enter_time {
+            let candidate = by_exit[exit_idx];
+            if max_exited.is_none_or(|m| candidate.value > m.value) {
+                max_exited = Some(candidate);
+            }
+            exit_idx += 1;
+        }
+        if let Some(earlier) = max_exited {
+            if earlier.value > later.value {
+                result.push(Violation { earlier: *earlier, later: *later });
+            }
+        }
+    }
+    result
+}
+
+/// `true` if the recorded run contains no linearizability violation.
+#[must_use]
+pub fn is_linearizable(tokens: &[TokenRecord]) -> bool {
+    violations(tokens).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerKind;
+    use crate::sim::{SimConfig, Simulation};
+    use baselines::central_balancer;
+    use counting::counting_network;
+
+    fn record(enter: u64, exit: u64, value: u64) -> TokenRecord {
+        TokenRecord { process: 0, enter_time: enter, exit_time: exit, value }
+    }
+
+    #[test]
+    fn detects_a_textbook_violation() {
+        // Token A: enters at 1, exits at 5 with value 7.
+        // Token B: enters at 10 (after A exited), exits at 12 with value 3.
+        let tokens = vec![record(1, 5, 7), record(10, 12, 3)];
+        let v = violations(&tokens);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].earlier.value, 7);
+        assert_eq!(v[0].later.value, 3);
+        assert!(!is_linearizable(&tokens));
+    }
+
+    #[test]
+    fn overlapping_tokens_are_never_violations() {
+        // B enters before A exits: any value order is allowed.
+        let tokens = vec![record(1, 5, 7), record(4, 12, 3)];
+        assert!(is_linearizable(&tokens));
+    }
+
+    #[test]
+    fn a_single_shared_balancer_is_linearizable() {
+        // The central (w, w)-balancer assigns the value in the same atomic
+        // step as the traversal, so no later token can overtake.
+        let net = central_balancer(8).expect("valid");
+        for seed in 0..5u64 {
+            let report = Simulation::new(&net, SimConfig { concurrency: 8, total_tokens: 200 })
+                .record_tokens(true)
+                .run(SchedulerKind::Random.build(seed).as_mut());
+            assert!(report.fetch_increment.is_exact_range);
+            assert!(is_linearizable(&report.tokens), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn counting_networks_are_not_linearizable() {
+        // Section 1.4.2: some schedule of C(4, 4) lets a token that starts
+        // after another has finished obtain a smaller value. A randomized
+        // search over schedules finds one quickly.
+        let net = counting_network(4, 4).expect("valid");
+        let mut found = false;
+        for seed in 0..200u64 {
+            let report = Simulation::new(&net, SimConfig { concurrency: 4, total_tokens: 40 })
+                .record_tokens(true)
+                .run(SchedulerKind::Random.build(seed).as_mut());
+            if !is_linearizable(&report.tokens) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected to find a non-linearizable schedule of C(4,4)");
+    }
+
+    #[test]
+    fn token_records_are_complete_and_ordered() {
+        let net = counting_network(8, 8).expect("valid");
+        let m = 160u64;
+        let report = Simulation::new(&net, SimConfig { concurrency: 8, total_tokens: m })
+            .record_tokens(true)
+            .run(SchedulerKind::RoundRobin.build(0).as_mut());
+        assert_eq!(report.tokens.len() as u64, m);
+        for t in &report.tokens {
+            assert!(t.enter_time <= t.exit_time);
+            assert!(t.value < m);
+        }
+        // Without recording, the log stays empty.
+        let silent = Simulation::new(&net, SimConfig { concurrency: 8, total_tokens: m })
+            .run(SchedulerKind::RoundRobin.build(0).as_mut());
+        assert!(silent.tokens.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Schedulers: the adversary that decides which pending token performs the
+//! next atomic balancer traversal.
+//!
+//! The contention bounds of the paper are worst-case over all schedules.
+//! The simulator exposes three representative schedules:
+//!
+//! * [`RoundRobin`] — processes advance in lock-step waves. All tokens of a
+//!   "generation" arrive at a layer together, which is exactly the
+//!   high-contention regime analysed in Section 6.2; empirically this
+//!   produces contention closest to the proven bounds.
+//! * [`RandomScheduler`] — a uniformly random pending process advances;
+//!   models an unbiased asynchronous execution.
+//! * [`GreedyHotspot`] — always advances a token waiting at the balancer
+//!   with the most waiters. Combined with the waves produced by
+//!   re-injection this approximates an adversary that piles tokens up and
+//!   then releases them one by one (maximizing the stalls each pass
+//!   causes); it is the schedule that exposes the `Θ(n)` contention of the
+//!   diffracting tree.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A view of the pending work the scheduler chooses from.
+///
+/// `pending[i]` is the list of process ids whose token currently waits at
+/// balancer `i`; `pending_processes` is the flat list of all process ids
+/// with a waiting token.
+#[derive(Debug)]
+pub struct PendingView<'a> {
+    /// Process ids waiting at each balancer.
+    pub waiting_at: &'a [Vec<usize>],
+    /// All process ids that currently have a token waiting at a balancer.
+    pub pending_processes: &'a [usize],
+}
+
+/// The adversary: picks which pending process performs the next atomic
+/// balancer traversal.
+pub trait Scheduler {
+    /// Selects one element of `view.pending_processes`.
+    fn select(&mut self, view: &PendingView<'_>) -> usize;
+}
+
+/// Identifies a scheduler implementation; used by benches and experiment
+/// binaries to construct schedulers from configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SchedulerKind {
+    /// Lock-step waves (see [`RoundRobin`]).
+    RoundRobin,
+    /// Uniformly random pending process (see [`RandomScheduler`]).
+    Random,
+    /// Greedy hotspot adversary (see [`GreedyHotspot`]).
+    GreedyHotspot,
+}
+
+impl SchedulerKind {
+    /// Instantiates the scheduler; `seed` is used by the randomized ones.
+    #[must_use]
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            Self::RoundRobin => Box::new(RoundRobin::new()),
+            Self::Random => Box::new(RandomScheduler::new(seed)),
+            Self::GreedyHotspot => Box::new(GreedyHotspot::new(seed)),
+        }
+    }
+
+    /// A short stable name used in result rows.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RoundRobin => "round-robin",
+            Self::Random => "random",
+            Self::GreedyHotspot => "greedy-hotspot",
+        }
+    }
+}
+
+/// Lock-step scheduler: repeatedly sweeps over process ids in increasing
+/// order, advancing each pending process once per sweep. This makes all
+/// concurrent tokens move through the network in waves (generations), the
+/// regime in which the layer-contention analysis of Section 6.2 is tight.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler starting at process 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { cursor: 0 }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn select(&mut self, view: &PendingView<'_>) -> usize {
+        // Pick the smallest pending process id that is >= cursor, wrapping
+        // around; then advance the cursor past it.
+        let mut best: Option<usize> = None;
+        let mut wrapped_best: Option<usize> = None;
+        for &p in view.pending_processes {
+            if p >= self.cursor {
+                best = Some(best.map_or(p, |b: usize| b.min(p)));
+            } else {
+                wrapped_best = Some(wrapped_best.map_or(p, |b: usize| b.min(p)));
+            }
+        }
+        let chosen = best.or(wrapped_best).expect("scheduler called with no pending process");
+        self.cursor = chosen + 1;
+        chosen
+    }
+}
+
+/// Uniformly random scheduler.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn select(&mut self, view: &PendingView<'_>) -> usize {
+        let idx = self.rng.gen_range(0..view.pending_processes.len());
+        view.pending_processes[idx]
+    }
+}
+
+/// Greedy hotspot adversary: advances a token waiting at the balancer with
+/// the largest number of waiters (ties broken towards lower balancer ids,
+/// the specific token chosen at random). Every traversal it schedules
+/// therefore causes the maximum possible number of stalls at that moment.
+#[derive(Debug)]
+pub struct GreedyHotspot {
+    rng: StdRng,
+}
+
+impl GreedyHotspot {
+    /// Creates a greedy hotspot scheduler with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for GreedyHotspot {
+    fn select(&mut self, view: &PendingView<'_>) -> usize {
+        let (_, crowd) = view
+            .waiting_at
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, v)| (v.len(), usize::MAX - i))
+            .expect("network has at least one balancer");
+        if crowd.is_empty() {
+            // All pending tokens are on balancer-free paths; fall back.
+            let idx = self.rng.gen_range(0..view.pending_processes.len());
+            return view.pending_processes[idx];
+        }
+        crowd[self.rng.gen_range(0..crowd.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(waiting_at: &'a [Vec<usize>], pending: &'a [usize]) -> PendingView<'a> {
+        PendingView { waiting_at, pending_processes: pending }
+    }
+
+    #[test]
+    fn round_robin_cycles_through_processes() {
+        let mut s = RoundRobin::new();
+        let waiting = vec![vec![0, 1, 2]];
+        let pending = vec![0, 1, 2];
+        let picks: Vec<usize> = (0..6).map(|_| s.select(&view(&waiting, &pending))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_missing_processes() {
+        let mut s = RoundRobin::new();
+        let waiting = vec![vec![1, 3]];
+        let pending = vec![1, 3];
+        assert_eq!(s.select(&view(&waiting, &pending)), 1);
+        assert_eq!(s.select(&view(&waiting, &pending)), 3);
+        assert_eq!(s.select(&view(&waiting, &pending)), 1);
+    }
+
+    #[test]
+    fn greedy_hotspot_prefers_the_crowd() {
+        let mut s = GreedyHotspot::new(7);
+        let waiting = vec![vec![0], vec![1, 2, 3], vec![4]];
+        let pending = vec![0, 1, 2, 3, 4];
+        for _ in 0..10 {
+            let p = s.select(&view(&waiting, &pending));
+            assert!([1, 2, 3].contains(&p));
+        }
+    }
+
+    #[test]
+    fn random_scheduler_selects_pending_processes() {
+        let mut s = RandomScheduler::new(1);
+        let waiting = vec![vec![5, 9]];
+        let pending = vec![5, 9];
+        for _ in 0..20 {
+            let p = s.select(&view(&waiting, &pending));
+            assert!(p == 5 || p == 9);
+        }
+    }
+
+    #[test]
+    fn kind_builds_and_names() {
+        for kind in [SchedulerKind::RoundRobin, SchedulerKind::Random, SchedulerKind::GreedyHotspot] {
+            let _ = kind.build(0);
+            assert!(!kind.name().is_empty());
+        }
+    }
+}

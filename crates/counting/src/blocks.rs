@@ -1,0 +1,144 @@
+//! The block decomposition `N_a`, `N_b`, `N_c` of the unfolded `C(w, t)`
+//! (Section 1.3.2, Fig. 3).
+//!
+//! When the recursion of `C(w, t)` is unfolded, its layers fall into three
+//! blocks:
+//!
+//! * `N_a` — layers `1 .. lg w - 1`: regular, width `w`, `(2,2)`-balancers;
+//!   the ladders placed before the recursive counting networks.
+//! * `N_b` — layer `lg w`: the transition layer of `w/2`
+//!   `(2, 2p)`-balancers (the bases of the recursion, `C(2, 2p)`).
+//! * `N_c` — layers `lg w + 1 .. depth`: regular, width `t`,
+//!   `(2,2)`-balancers; all the merging networks.
+//!
+//! The contention analysis treats the blocks separately: `N_a,b` is
+//! `s`-smoothing (Lemma 6.6) and isomorphic to a butterfly, while `N_c`
+//! dominates the depth and its contention falls as `t` grows. The
+//! simulator uses [`block_of_layer`] to attribute stalls to blocks.
+
+use crate::depth::counting_depth;
+use crate::params::lg;
+
+/// The block a layer of `C(w, t)` belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// Block `N_a`: the ladder layers (depth `1 .. lg w - 1`).
+    A,
+    /// Block `N_b`: the single transition layer of `(2, 2p)`-balancers.
+    B,
+    /// Block `N_c`: the merging-network layers.
+    C,
+}
+
+/// Maps a 1-based layer index of `C(w, t)` to its block.
+///
+/// # Panics
+///
+/// Panics if `w` is not a power of two `>= 2` or the layer index is out of
+/// range (`1 ..= counting_depth(w)`).
+#[must_use]
+pub fn block_of_layer(w: usize, layer: usize) -> BlockKind {
+    let lgw = lg(w) as usize;
+    let depth = counting_depth(w);
+    assert!(
+        layer >= 1 && layer <= depth,
+        "layer {layer} out of range 1..={depth} for C({w}, ·)"
+    );
+    if layer < lgw {
+        BlockKind::A
+    } else if layer == lgw {
+        BlockKind::B
+    } else {
+        BlockKind::C
+    }
+}
+
+/// The number of layers in each block of `C(w, t)`:
+/// `(|N_a|, |N_b|, |N_c|) = (lg w - 1, 1, (lg²w - lg w)/2)`.
+#[must_use]
+pub fn block_depths(w: usize) -> (usize, usize, usize) {
+    let lgw = lg(w) as usize;
+    (lgw - 1, 1, (lgw * lgw - lgw) / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::counting_network;
+    use balnet::Network;
+
+    #[test]
+    fn block_depths_sum_to_total_depth() {
+        for k in 1..10 {
+            let w = 1usize << k;
+            let (a, b, c) = block_depths(w);
+            assert_eq!(a + b + c, counting_depth(w));
+        }
+    }
+
+    #[test]
+    fn layer_classification() {
+        let w = 16; // lg w = 4, depth 10
+        assert_eq!(block_of_layer(w, 1), BlockKind::A);
+        assert_eq!(block_of_layer(w, 3), BlockKind::A);
+        assert_eq!(block_of_layer(w, 4), BlockKind::B);
+        assert_eq!(block_of_layer(w, 5), BlockKind::C);
+        assert_eq!(block_of_layer(w, 10), BlockKind::C);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_layer() {
+        let _ = block_of_layer(8, 7);
+    }
+
+    /// Checks that the actual built network has the block structure of
+    /// Fig. 3: layers in N_a have width-w worth of (2,2)-balancers (w/2
+    /// each), the N_b layer has w/2 irregular balancers, and every N_c
+    /// layer has t/2 (2,2)-balancers.
+    fn check_block_structure(net: &Network, w: usize, t: usize) {
+        let p = t / w;
+        let layers = net.layers();
+        for (i, layer) in layers.iter().enumerate() {
+            let layer_idx = i + 1;
+            match block_of_layer(w, layer_idx) {
+                BlockKind::A => {
+                    assert_eq!(layer.len(), w / 2, "layer {layer_idx} of C({w},{t})");
+                    for id in layer {
+                        let node = net.balancer(*id);
+                        assert_eq!((node.fan_in, node.fan_out), (2, 2));
+                    }
+                }
+                BlockKind::B => {
+                    assert_eq!(layer.len(), w / 2, "layer {layer_idx} of C({w},{t})");
+                    for id in layer {
+                        let node = net.balancer(*id);
+                        assert_eq!((node.fan_in, node.fan_out), (2, 2 * p));
+                    }
+                }
+                BlockKind::C => {
+                    assert_eq!(layer.len(), t / 2, "layer {layer_idx} of C({w},{t})");
+                    for id in layer {
+                        let node = net.balancer(*id);
+                        assert_eq!((node.fan_in, node.fan_out), (2, 2));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_structure_c816() {
+        // Fig. 3 shows the decomposition of C(8, 16).
+        let net = counting_network(8, 16).expect("valid");
+        check_block_structure(&net, 8, 16);
+    }
+
+    #[test]
+    fn block_structure_various_sizes() {
+        for (w, t) in [(4, 4), (4, 8), (8, 8), (16, 16), (16, 64), (32, 32)] {
+            let net = counting_network(w, t).expect("valid");
+            check_block_structure(&net, w, t);
+        }
+    }
+}

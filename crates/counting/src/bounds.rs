@@ -1,0 +1,139 @@
+//! The paper's amortized-contention bounds, as evaluatable formulas.
+//!
+//! The contention of a balancing network is measured in *stalls* (Dwork,
+//! Herlihy & Waarts): every time a token passes through a balancer it
+//! causes one stall to each token currently waiting at that balancer.
+//! Amortized contention is the worst-case total stall count per token as
+//! the number of tokens goes to infinity. These functions evaluate the
+//! bounds proved in Section 6 (and the known bounds for the baselines), so
+//! that measured contention from `counting-sim` can be compared against
+//! the theory in the benchmark harness.
+
+/// `lg x` as an `f64`, with `lg 1 = 0`. Accepts any `x >= 1`.
+fn lgf(x: usize) -> f64 {
+    (x as f64).log2()
+}
+
+/// Theorem 6.7: the amortized contention of `C(w, t)` at concurrency `n`
+/// is less than `4n·lgw/w + n·lg²w/t + w·lg³w/t + 4·lg²w + lgw`.
+#[must_use]
+pub fn cwt_contention_bound(n: usize, w: usize, t: usize) -> f64 {
+    let lgw = lgf(w);
+    let (n, w, t) = (n as f64, w as f64, t as f64);
+    4.0 * n * lgw / w + n * lgw * lgw / t + w * lgw.powi(3) / t + 4.0 * lgw * lgw + lgw
+}
+
+/// Lemma 6.5: the amortized contention of the forward butterfly `D(w)` at
+/// concurrency `n` is less than `4n·lgw/w + lg²w + lgw`.
+#[must_use]
+pub fn butterfly_contention_bound(n: usize, w: usize) -> f64 {
+    let lgw = lgf(w);
+    let (n, w) = (n as f64, w as f64);
+    4.0 * n * lgw / w + lgw * lgw + lgw
+}
+
+/// Corollary 6.4: the amortized contention of a single layer of balancers
+/// of maximum output width `q` and layer output width `w`, whose output is
+/// `k`-smooth in every quiescent state, is at most `q·n/w + q·(k+1)`.
+#[must_use]
+pub fn layer_contention_bound(q: usize, n: usize, w: usize, k: u64) -> f64 {
+    let (q, n, w, k) = (q as f64, n as f64, w as f64, k as f64);
+    q * n / w + q * (k + 1.0)
+}
+
+/// The amortized contention of the bitonic counting network of width `w`:
+/// `Θ(n·lg²w/w)` (Dwork, Herlihy & Waarts, Section 3.2). The constant is
+/// taken as 1, since only the asymptotic shape is compared.
+#[must_use]
+pub fn bitonic_contention_estimate(n: usize, w: usize) -> f64 {
+    let lgw = lgf(w);
+    n as f64 * lgw * lgw / w as f64
+}
+
+/// The amortized contention of the periodic counting network of width `w`:
+/// `O(n·lg³w/w)` (Dwork, Herlihy & Waarts, Section 3.4). Constant taken
+/// as 1.
+#[must_use]
+pub fn periodic_contention_estimate(n: usize, w: usize) -> f64 {
+    let lgw = lgf(w);
+    n as f64 * lgw.powi(3) / w as f64
+}
+
+/// The amortized contention of the diffracting tree: `Θ(n)` — an adversary
+/// can accumulate all tokens at the root balancer (Section 1.4.1).
+#[must_use]
+pub fn diffracting_tree_contention_estimate(n: usize) -> f64 {
+    n as f64
+}
+
+/// The smoothness parameter of the prefix `C'(w, t)` from Lemma 6.6:
+/// `s = ⌊w·lgw/t⌋ + 2`.
+#[must_use]
+pub fn prefix_smoothness_bound(w: usize, t: usize) -> u64 {
+    let lgw = w.trailing_zeros() as usize;
+    (w * lgw / t) as u64 + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_6_7_specialisations() {
+        // Section 1.3.1: for t = w and n >= w lg w the bound is dominated
+        // by the n·lg²w/w term; for t = w·lgw and n >= w·lgw it drops by a
+        // lg w factor to ~ n·lgw/w.
+        let w = 1024;
+        let n = 4 * w * 10; // n >= w lg w = 10240
+        let regular = cwt_contention_bound(n, w, w);
+        let wide = cwt_contention_bound(n, w, w * 10);
+        assert!(wide < regular, "wider output width must lower the bound");
+        // The improvement approaches the lg w factor on the n-dependent part.
+        let bitonic = bitonic_contention_estimate(n, w);
+        assert!(wide < bitonic, "C(w, w·lgw) must beat the bitonic estimate at high concurrency");
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_n() {
+        for &f in &[
+            cwt_contention_bound(100, 16, 16),
+            cwt_contention_bound(1000, 16, 16),
+        ] {
+            assert!(f.is_finite() && f > 0.0);
+        }
+        assert!(cwt_contention_bound(1000, 16, 16) > cwt_contention_bound(100, 16, 16));
+        assert!(butterfly_contention_bound(1000, 16) > butterfly_contention_bound(100, 16));
+        assert!(bitonic_contention_estimate(1000, 16) > bitonic_contention_estimate(100, 16));
+    }
+
+    #[test]
+    fn increasing_t_decreases_the_bound() {
+        let (n, w) = (10_000, 64);
+        let mut prev = f64::INFINITY;
+        for p in [1usize, 2, 4, 8, 16] {
+            let b = cwt_contention_bound(n, w, w * p);
+            assert!(b <= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn layer_bound_matches_corollary() {
+        // q = 2, n = 100, w = 10, k = 1: 2·100/10 + 2·2 = 24.
+        assert!((layer_contention_bound(2, 100, 10, 1) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_smoothness_examples() {
+        // Lemma 6.6: s = ⌊w lg w / t⌋ + 2.
+        assert_eq!(prefix_smoothness_bound(8, 8), 5);
+        assert_eq!(prefix_smoothness_bound(8, 24), 3);
+        assert_eq!(prefix_smoothness_bound(16, 64), 3);
+        assert_eq!(prefix_smoothness_bound(16, 16 * 4), 3);
+    }
+
+    #[test]
+    fn diffracting_tree_is_linear_in_n() {
+        assert_eq!(diffracting_tree_contention_estimate(42), 42.0);
+    }
+}

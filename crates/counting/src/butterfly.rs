@@ -1,0 +1,177 @@
+//! The forward and backward butterfly networks `D(w)` and `E(w)`
+//! (Section 5).
+//!
+//! Both are regular networks of width `w = 2^k` and depth `lg w` built from
+//! ladder layers. The forward butterfly `D(w)` consists of two `D(w/2)`
+//! networks followed by a ladder `L(w)`; the backward butterfly `E(w)`
+//! puts the ladder first. The two are isomorphic (Lemma 5.3), and `D(w)`
+//! is `lg w`-smoothing (Lemma 5.2). The backward butterfly describes the
+//! first `lg w` layers of `C(w, t)` (up to the width of the final layer's
+//! balancers), which is the key structural fact behind the contention
+//! analysis of blocks `N_a`/`N_b`.
+
+use balnet::{BuildError, Network, NetworkBuilder};
+
+use crate::ladder::ladder_into;
+use crate::params::is_power_of_two;
+use crate::wiring::{feed_outputs, input_sources, Src};
+
+/// Adds a forward butterfly over the given sources, returning the output
+/// sources.
+pub(crate) fn forward_butterfly_into(b: &mut NetworkBuilder, x: &[Src]) -> Vec<Src> {
+    let w = x.len();
+    if w == 1 {
+        return x.to_vec();
+    }
+    let (top, bottom) = x.split_at(w / 2);
+    let mut inner = forward_butterfly_into(b, top);
+    inner.extend(forward_butterfly_into(b, bottom));
+    ladder_into(b, &inner)
+}
+
+/// Adds a backward butterfly over the given sources, returning the output
+/// sources.
+pub(crate) fn backward_butterfly_into(b: &mut NetworkBuilder, x: &[Src]) -> Vec<Src> {
+    let w = x.len();
+    if w == 1 {
+        return x.to_vec();
+    }
+    let lad = ladder_into(b, x);
+    let (top, bottom) = lad.split_at(w / 2);
+    let mut out = backward_butterfly_into(b, top);
+    out.extend(backward_butterfly_into(b, bottom));
+    out
+}
+
+/// Builds the forward butterfly `D(w)` for `w` a power of two (`w >= 1`).
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] if `w` is not a power of two.
+pub fn forward_butterfly(w: usize) -> Result<Network, BuildError> {
+    if !is_power_of_two(w) {
+        return Err(BuildError::InvalidParameter(format!(
+            "D(w) requires w to be a power of two, got {w}"
+        )));
+    }
+    let mut b = NetworkBuilder::new(w, w);
+    let srcs = input_sources(w);
+    let out = forward_butterfly_into(&mut b, &srcs);
+    feed_outputs(&mut b, &out);
+    Ok(b.build_expect("forward butterfly"))
+}
+
+/// Builds the backward butterfly `E(w)` for `w` a power of two (`w >= 1`).
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] if `w` is not a power of two.
+pub fn backward_butterfly(w: usize) -> Result<Network, BuildError> {
+    if !is_power_of_two(w) {
+        return Err(BuildError::InvalidParameter(format!(
+            "E(w) requires w to be a power of two, got {w}"
+        )));
+    }
+    let mut b = NetworkBuilder::new(w, w);
+    let srcs = input_sources(w);
+    let out = backward_butterfly_into(&mut b, &srcs);
+    feed_outputs(&mut b, &out);
+    Ok(b.build_expect("backward butterfly"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depth::butterfly_depth;
+    use balnet::properties::observed_smoothness;
+    use balnet::{find_isomorphism, is_smoothing_network_randomized};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn butterfly_shape() {
+        for w in [1usize, 2, 4, 8, 16, 32, 64] {
+            let d = forward_butterfly(w).expect("valid");
+            let e = backward_butterfly(w).expect("valid");
+            for net in [&d, &e] {
+                assert_eq!(net.depth(), butterfly_depth(w), "width {w}");
+                assert_eq!(net.input_width(), w);
+                assert_eq!(net.output_width(), w);
+                assert!(net.is_regular());
+                // lg w layers of w/2 balancers each.
+                let lgw = if w == 1 { 0 } else { w.trailing_zeros() as usize };
+                assert_eq!(net.num_balancers(), lgw * w / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_rejects_non_powers_of_two() {
+        assert!(forward_butterfly(6).is_err());
+        assert!(backward_butterfly(12).is_err());
+        assert!(forward_butterfly(0).is_err());
+    }
+
+    #[test]
+    fn forward_butterfly_is_lgw_smoothing() {
+        // Lemma 5.2.
+        let mut rng = StdRng::seed_from_u64(5);
+        for w in [2usize, 4, 8, 16, 32] {
+            let d = forward_butterfly(w).expect("valid");
+            let k = w.trailing_zeros() as u64;
+            assert!(
+                is_smoothing_network_randomized(&d, k, 200, 200, &mut rng),
+                "D({w}) not {k}-smoothing"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_butterfly_is_lgw_smoothing() {
+        // Follows from Lemma 5.3 + Lemma 2.8.
+        let mut rng = StdRng::seed_from_u64(6);
+        for w in [2usize, 4, 8, 16, 32] {
+            let e = backward_butterfly(w).expect("valid");
+            let k = w.trailing_zeros() as u64;
+            assert!(
+                is_smoothing_network_randomized(&e, k, 200, 200, &mut rng),
+                "E({w}) not {k}-smoothing"
+            );
+        }
+    }
+
+    #[test]
+    fn butterflies_are_isomorphic() {
+        // Lemma 5.3, verified structurally by isomorphism search.
+        for w in [2usize, 4, 8] {
+            let d = forward_butterfly(w).expect("valid");
+            let e = backward_butterfly(w).expect("valid");
+            assert!(
+                find_isomorphism(&d, &e).is_some(),
+                "D({w}) and E({w}) should be isomorphic"
+            );
+        }
+    }
+
+    #[test]
+    fn butterfly_is_not_a_counting_network() {
+        // The butterfly smooths but does not count: for w >= 4 there are
+        // inputs whose output is not step.
+        use balnet::properties::counting_counterexample_exhaustive;
+        let d = forward_butterfly(4).expect("valid");
+        assert!(counting_counterexample_exhaustive(&d, 3).is_some());
+    }
+
+    #[test]
+    fn observed_smoothness_is_positive_for_large_widths() {
+        // Sanity: the bound lg w is not vacuous — the butterfly really can
+        // spread counts by more than 1 (so it is not a counting network),
+        // yet never beyond lg w.
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = 16usize;
+        let d = forward_butterfly(w).expect("valid");
+        let s = observed_smoothness(&d, 400, 100, &mut rng);
+        assert!(s >= 1);
+        assert!(s <= w.trailing_zeros() as u64);
+    }
+}

@@ -1,0 +1,96 @@
+//! Closed-form depth formulas for the constructions and the baselines.
+//!
+//! These are the formulas proved in the paper (Theorem 4.1, Lemma 3.1,
+//! Lemma 5.1) plus the standard depths of the bitonic and periodic counting
+//! networks used for comparison. Structural tests assert that every built
+//! topology matches its formula exactly.
+
+use crate::params::lg;
+
+/// Depth of the counting network `C(w, t)`:
+/// `(lg²w + lgw)/2` (Theorem 4.1). Independent of `t`.
+#[must_use]
+pub fn counting_depth(w: usize) -> usize {
+    let k = lg(w) as usize;
+    (k * k + k) / 2
+}
+
+/// Depth of the difference merging network `M(t, δ)`: `lg δ` (Lemma 3.1).
+/// Independent of `t`.
+#[must_use]
+pub fn merger_depth(delta: usize) -> usize {
+    lg(delta) as usize
+}
+
+/// Depth of the forward/backward butterfly `D(w)` / `E(w)`: `lg w`
+/// (Lemma 5.1).
+#[must_use]
+pub fn butterfly_depth(w: usize) -> usize {
+    lg(w) as usize
+}
+
+/// Depth of the bitonic counting network of width `w`:
+/// `lg w (lg w + 1) / 2` (Aspnes, Herlihy & Shavit). Identical to
+/// [`counting_depth`] — the paper's network matches the bitonic depth at
+/// every width while allowing a wider output.
+#[must_use]
+pub fn bitonic_depth(w: usize) -> usize {
+    let k = lg(w) as usize;
+    k * (k + 1) / 2
+}
+
+/// Depth of the periodic counting network of width `w`: `lg²w`
+/// (`lg w` blocks of depth `lg w` each).
+#[must_use]
+pub fn periodic_depth(w: usize) -> usize {
+    let k = lg(w) as usize;
+    k * k
+}
+
+/// Depth of the diffracting tree with `w` output wires: `lg w`
+/// (a binary tree of `(1,2)`-balancers).
+#[must_use]
+pub fn diffracting_tree_depth(w: usize) -> usize {
+    lg(w) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_at_small_widths() {
+        assert_eq!(counting_depth(2), 1);
+        assert_eq!(counting_depth(4), 3);
+        assert_eq!(counting_depth(8), 6);
+        assert_eq!(counting_depth(16), 10);
+        assert_eq!(counting_depth(1024), 55);
+
+        assert_eq!(merger_depth(2), 1);
+        assert_eq!(merger_depth(16), 4);
+
+        assert_eq!(butterfly_depth(1), 0);
+        assert_eq!(butterfly_depth(8), 3);
+
+        assert_eq!(bitonic_depth(8), 6);
+        assert_eq!(periodic_depth(8), 9);
+        assert_eq!(diffracting_tree_depth(8), 3);
+    }
+
+    #[test]
+    fn counting_depth_equals_bitonic_depth() {
+        for k in 1..12 {
+            let w = 1usize << k;
+            assert_eq!(counting_depth(w), bitonic_depth(w));
+        }
+    }
+
+    #[test]
+    fn counting_depth_satisfies_recurrence() {
+        // depth(C(w, t)) = 1 + depth(C(w/2, t/2)) + lg(w/2).
+        for k in 2..16 {
+            let w = 1usize << k;
+            assert_eq!(counting_depth(w), 1 + counting_depth(w / 2) + (k - 1));
+        }
+    }
+}

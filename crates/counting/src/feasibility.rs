@@ -1,0 +1,159 @@
+//! Feasibility of counting-network widths (Aharonson & Attiya).
+//!
+//! Section 1.4.2 recalls the impossibility result of Aharonson and Attiya:
+//! a counting network (indeed, any smoothing network) of output width `w`
+//! cannot be built from balancers whose output widths are `b_1, ..., b_k`
+//! if some prime factor of `w` divides none of the `b_i`. This module
+//! implements that test, so users asking "can I build a counter with 12
+//! outputs from (2,2)- and (2,3)-balancers?" get an immediate, principled
+//! answer — and so the parameter validation of `C(w, t)` can be
+//! cross-checked against the general theory.
+
+use balnet::Network;
+
+/// Why a requested output width cannot be realised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfeasibleWidth {
+    /// The requested output width.
+    pub output_width: usize,
+    /// A prime factor of the output width that divides none of the
+    /// available balancer output widths.
+    pub blocking_prime: usize,
+}
+
+impl std::fmt::Display for InfeasibleWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no counting network of output width {} exists: its prime factor {} divides none of the available balancer output widths",
+            self.output_width, self.blocking_prime
+        )
+    }
+}
+
+impl std::error::Error for InfeasibleWidth {}
+
+/// The distinct prime factors of `n` (empty for `n <= 1`).
+#[must_use]
+pub fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut factors = Vec::new();
+    let mut p = 2usize;
+    while p * p <= n {
+        if n.is_multiple_of(p) {
+            factors.push(p);
+            while n.is_multiple_of(p) {
+                n /= p;
+            }
+        }
+        p += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+/// Checks the Aharonson–Attiya necessary condition: every prime factor of
+/// `output_width` must divide at least one of the available balancer
+/// output widths.
+///
+/// A passing check does **not** by itself guarantee a construction exists
+/// (the theorem is an impossibility result), but a failing check is a
+/// proof that none does.
+///
+/// # Errors
+///
+/// Returns [`InfeasibleWidth`] naming the blocking prime.
+pub fn counting_width_feasible(
+    output_width: usize,
+    balancer_output_widths: &[usize],
+) -> Result<(), InfeasibleWidth> {
+    for prime in prime_factors(output_width) {
+        if !balancer_output_widths.iter().any(|&b| b % prime == 0) {
+            return Err(InfeasibleWidth { output_width, blocking_prime: prime });
+        }
+    }
+    Ok(())
+}
+
+/// All output widths in `1..=limit` that pass the feasibility test for the
+/// given balancer set.
+#[must_use]
+pub fn feasible_output_widths(balancer_output_widths: &[usize], limit: usize) -> Vec<usize> {
+    (1..=limit)
+        .filter(|&w| counting_width_feasible(w, balancer_output_widths).is_ok())
+        .collect()
+}
+
+/// Cross-check helper: the set of distinct balancer output widths actually
+/// used by a built network, suitable for feeding back into
+/// [`counting_width_feasible`].
+#[must_use]
+pub fn balancer_output_widths(network: &Network) -> Vec<usize> {
+    let mut widths: Vec<usize> =
+        network.balancers().iter().map(|b| b.fan_out).collect();
+    widths.sort_unstable();
+    widths.dedup();
+    widths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::counting_network;
+
+    #[test]
+    fn prime_factorisation() {
+        assert_eq!(prime_factors(1), Vec::<usize>::new());
+        assert_eq!(prime_factors(2), vec![2]);
+        assert_eq!(prime_factors(12), vec![2, 3]);
+        assert_eq!(prime_factors(360), vec![2, 3, 5]);
+        assert_eq!(prime_factors(97), vec![97]);
+    }
+
+    #[test]
+    fn powers_of_two_are_feasible_with_binary_balancers() {
+        for k in 1..12 {
+            assert!(counting_width_feasible(1 << k, &[2]).is_ok());
+        }
+    }
+
+    #[test]
+    fn odd_prime_widths_are_infeasible_with_binary_balancers() {
+        let err = counting_width_feasible(6, &[2]).unwrap_err();
+        assert_eq!(err.blocking_prime, 3);
+        assert!(err.to_string().contains("prime factor 3"));
+        assert_eq!(counting_width_feasible(10, &[2, 4]).unwrap_err().blocking_prime, 5);
+        assert!(counting_width_feasible(12, &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn feasible_width_enumeration() {
+        assert_eq!(feasible_output_widths(&[2], 10), vec![1, 2, 4, 8]);
+        assert_eq!(feasible_output_widths(&[2, 3], 12), vec![1, 2, 3, 4, 6, 8, 9, 12]);
+        assert_eq!(feasible_output_widths(&[6], 12), vec![1, 2, 3, 4, 6, 8, 9, 12]);
+    }
+
+    #[test]
+    fn built_networks_satisfy_the_necessary_condition() {
+        // Consistency: every C(w, t) we can build uses balancer widths that
+        // pass the Aharonson–Attiya test for its own output width.
+        for (w, t) in [(4usize, 4usize), (4, 8), (8, 24), (16, 80)] {
+            let net = counting_network(w, t).expect("valid");
+            let widths = balancer_output_widths(&net);
+            assert!(
+                counting_width_feasible(t, &widths).is_ok(),
+                "C({w},{t}) with balancer widths {widths:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn the_theorem_explains_why_c_w_t_needs_t_a_multiple_of_w_times_primes() {
+        // A (2, 2p)-balancer set {2, 2p} cannot realise an output width
+        // containing a prime absent from 2p: e.g. width 2·3 = 6 needs a
+        // balancer width divisible by 3.
+        assert!(counting_width_feasible(6, &[2, 4]).is_err());
+        assert!(counting_width_feasible(6, &[2, 6]).is_ok());
+    }
+}

@@ -1,0 +1,124 @@
+//! The ladder network `L(w)` (Section 4.1).
+//!
+//! `L(w)` is a single layer of `w/2` `(2,2)`-balancers. Balancer `b_i`
+//! (for `0 <= i < w/2`) takes input wires `i` and `i + w/2` and produces
+//! output wires `i` (top) and `i + w/2` (bottom). The ladder is used in
+//! front of the recursive halves of `C(w, t)` to bound the difference of
+//! the token counts entering the two halves by `w/2`, and it is the layer
+//! glue of the butterfly networks.
+
+use balnet::{BuildError, Network, NetworkBuilder};
+
+use crate::params::is_power_of_two;
+use crate::wiring::{feed_balancer, feed_outputs, input_sources, Src};
+
+/// Adds a ladder layer over the `w` given sources, returning the `w`
+/// output sources (`out[i]` and `out[i + w/2]` are the two outputs of
+/// balancer `i`).
+pub(crate) fn ladder_into(b: &mut NetworkBuilder, srcs: &[Src]) -> Vec<Src> {
+    let w = srcs.len();
+    assert!(w >= 2 && w.is_multiple_of(2), "ladder width must be even and >= 2, got {w}");
+    let half = w / 2;
+    let mut out = vec![None; w];
+    for i in 0..half {
+        let bal = b.add_balancer(2, 2);
+        feed_balancer(b, srcs[i], bal, 0);
+        feed_balancer(b, srcs[i + half], bal, 1);
+        out[i] = Some(Src::Bal(bal, 0));
+        out[i + half] = Some(Src::Bal(bal, 1));
+    }
+    out.into_iter().map(|s| s.expect("all wires assigned")).collect()
+}
+
+/// Builds the ladder network `L(w)` as a standalone network.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] unless `w` is an even number
+/// `>= 2`. (The paper uses ladders only for powers of two, but the
+/// construction itself works for any even width.)
+pub fn ladder(w: usize) -> Result<Network, BuildError> {
+    if w < 2 || !w.is_multiple_of(2) {
+        return Err(BuildError::InvalidParameter(format!(
+            "L(w) requires an even width >= 2, got w = {w}"
+        )));
+    }
+    let mut b = NetworkBuilder::new(w, w);
+    let srcs = input_sources(w);
+    let out = ladder_into(&mut b, &srcs);
+    feed_outputs(&mut b, &out);
+    Ok(b.build_expect("ladder"))
+}
+
+/// Convenience: ladder of power-of-two width, panicking on bad input.
+/// Used internally by tests and benches.
+#[must_use]
+pub fn ladder_pow2(w: usize) -> Network {
+    assert!(is_power_of_two(w) && w >= 2);
+    ladder(w).expect("power-of-two widths are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balnet::{is_step, quiescent_output, BalancerId};
+
+    #[test]
+    fn ladder_shape() {
+        for w in [2usize, 4, 8, 16, 64] {
+            let net = ladder(w).expect("valid");
+            assert_eq!(net.input_width(), w);
+            assert_eq!(net.output_width(), w);
+            assert_eq!(net.depth(), 1);
+            assert_eq!(net.num_balancers(), w / 2);
+            assert_eq!(net.balancer_census(), vec![((2, 2), w / 2)]);
+        }
+    }
+
+    #[test]
+    fn ladder_rejects_bad_widths() {
+        assert!(ladder(0).is_err());
+        assert!(ladder(1).is_err());
+        assert!(ladder(3).is_err());
+        assert!(ladder(6).is_ok(), "even non-power-of-two widths are structurally fine");
+    }
+
+    #[test]
+    fn ladder_pairs_i_with_i_plus_half() {
+        // For w = 8, balancer i must receive input wires i and i+4 and feed
+        // output wires i and i+4.
+        let net = ladder(8).expect("valid");
+        for i in 0..4usize {
+            let node = net.balancer(BalancerId(i));
+            assert_eq!(node.outputs[0], balnet::Port::Output(i));
+            assert_eq!(node.outputs[1], balnet::Port::Output(i + 4));
+            assert_eq!(
+                net.inputs()[i],
+                balnet::Port::Balancer { balancer: i, port: 0 }
+            );
+            assert_eq!(
+                net.inputs()[i + 4],
+                balnet::Port::Balancer { balancer: i, port: 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_balances_each_pair() {
+        // Each balancer splits its pair: outputs of pair (i, i+w/2) satisfy
+        // the step property, hence the halves differ by at most w/2 in sum
+        // (the key fact used in Theorem 4.2).
+        let w = 8;
+        let net = ladder(w).expect("valid");
+        let input: Vec<u64> = vec![5, 0, 3, 7, 1, 1, 4, 9];
+        let out = quiescent_output(&net, &input);
+        for i in 0..w / 2 {
+            let pair = [out[i], out[i + w / 2]];
+            assert!(is_step(&pair), "pair {i} not balanced: {pair:?}");
+            assert_eq!(pair[0] + pair[1], input[i] + input[i + w / 2]);
+        }
+        let first: u64 = out[..w / 2].iter().sum();
+        let second: u64 = out[w / 2..].iter().sum();
+        assert!(first >= second && first - second <= (w / 2) as u64);
+    }
+}

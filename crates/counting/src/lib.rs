@@ -1,0 +1,52 @@
+//! # counting — the efficient counting network `C(w, t)`
+//!
+//! This crate implements the primary contribution of Busch & Mavronicolas,
+//! *"An Efficient Counting Network"* (IPPS/SPDP'98; full version in
+//! Theoretical Computer Science 411 (2010) 3001–3030):
+//!
+//! * the **ladder network** `L(w)` (Section 4.1),
+//! * the **difference merging network** `M(t, δ)` (Section 3) — a regular
+//!   width-`t` network of depth `lg δ` that merges two step sequences whose
+//!   sums differ by at most `δ`,
+//! * the **counting network** `C(w, t)` (Section 4) with input width
+//!   `w = 2^k`, output width `t = p·w`, and depth `(lg²w + lgw)/2`
+//!   independent of `t`,
+//! * the **forward and backward butterfly** networks `D(w)` / `E(w)`
+//!   (Section 5), used in the contention analysis,
+//! * the **block decomposition** `N_a`, `N_b`, `N_c` of the unfolded
+//!   construction (Section 1.3.2),
+//! * closed-form **depth formulas** and the paper's **contention bounds**
+//!   (Theorem 6.7, Lemma 6.5, Corollary 6.4) for comparison against
+//!   measured contention.
+//!
+//! All constructions produce [`balnet::Network`] topologies, so they can be
+//! verified with `balnet`'s property checkers, simulated with
+//! `counting-sim`, and executed concurrently with `counting-runtime`.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod blocks;
+pub mod bounds;
+pub mod butterfly;
+pub mod depth;
+pub mod feasibility;
+pub mod ladder;
+pub mod merger;
+pub mod network;
+pub mod params;
+mod wiring;
+
+pub use ablation::{counting_network_bitonic_merger, counting_network_no_ladder};
+pub use blocks::{block_of_layer, BlockKind};
+pub use bounds::{
+    bitonic_contention_estimate, butterfly_contention_bound, cwt_contention_bound,
+    diffracting_tree_contention_estimate, layer_contention_bound, periodic_contention_estimate,
+};
+pub use butterfly::{backward_butterfly, forward_butterfly};
+pub use depth::{bitonic_depth, butterfly_depth, counting_depth, merger_depth, periodic_depth};
+pub use feasibility::{counting_width_feasible, feasible_output_widths, InfeasibleWidth};
+pub use ladder::ladder;
+pub use merger::merging_network;
+pub use network::{counting_network, counting_prefix};
+pub use params::{is_power_of_two, lg, validate_counting_params, validate_merger_params};

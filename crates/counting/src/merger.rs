@@ -1,0 +1,217 @@
+//! The difference merging network `M(t, δ)` (Section 3).
+//!
+//! `M(t, δ)` is a regular balancing network of width `t` and depth `lg δ`.
+//! Its defining property (Lemma 3.3): if its first and second input halves
+//! `x^(t/2)` and `y^(t/2)` each satisfy the step property and
+//! `0 <= Σx - Σy <= δ`, then its output sequence satisfies the step
+//! property. Crucially the depth depends only on the *difference bound* δ,
+//! not on the width `t` — this is what lets `C(w, t)` keep depth `Θ(lg²w)`
+//! independent of `t` (Section 3.3 contrasts this with the bitonic merger,
+//! whose depth is `lg t`).
+
+use balnet::{BuildError, Network, NetworkBuilder};
+
+use crate::params::validate_merger_params;
+use crate::wiring::{evens, feed_balancer, feed_outputs, input_sources, odds, Src};
+
+/// Adds the base-case network `M(t, 2)` — a single layer of `t/2`
+/// `(2,2)`-balancers — over first-half sources `x` and second-half sources
+/// `y`, returning the `t` output sources.
+///
+/// Balancer `b_0` receives `x_0` and `y_{t/2-1}` and feeds outputs `z_0`
+/// and `z_{t-1}`; balancer `b_i` (for `1 <= i < t/2`) receives `y_{i-1}`
+/// and `x_i` and feeds outputs `z_{2i-1}` and `z_{2i}`.
+pub(crate) fn merger_base_into(b: &mut NetworkBuilder, x: &[Src], y: &[Src]) -> Vec<Src> {
+    assert_eq!(x.len(), y.len(), "M(t, 2) needs equal-length halves");
+    let half = x.len();
+    let t = 2 * half;
+    let mut out = vec![None; t];
+
+    // b_0: first input x_0, second input y_{t/2-1}; outputs z_0, z_{t-1}.
+    let b0 = b.add_balancer(2, 2);
+    feed_balancer(b, x[0], b0, 0);
+    feed_balancer(b, y[half - 1], b0, 1);
+    out[0] = Some(Src::Bal(b0, 0));
+    out[t - 1] = Some(Src::Bal(b0, 1));
+
+    // b_i, 1 <= i < t/2: first input y_{i-1}, second input x_i;
+    // outputs z_{2i-1}, z_{2i}.
+    for i in 1..half {
+        let bi = b.add_balancer(2, 2);
+        feed_balancer(b, y[i - 1], bi, 0);
+        feed_balancer(b, x[i], bi, 1);
+        out[2 * i - 1] = Some(Src::Bal(bi, 0));
+        out[2 * i] = Some(Src::Bal(bi, 1));
+    }
+    out.into_iter().map(|s| s.expect("all output wires assigned")).collect()
+}
+
+/// Adds the full recursive merging network `M(t, δ)` over first-half
+/// sources `x` and second-half sources `y`, returning the `t` output
+/// sources.
+///
+/// Recursive step (Section 3.1): `M_0(t/2, δ/2)` merges the even
+/// subsequences of `x` and `y`, `M_1(t/2, δ/2)` merges the odd
+/// subsequences, and a final `M(t, 2)` layer combines their outputs `g`
+/// and `h`.
+pub(crate) fn merger_into(b: &mut NetworkBuilder, x: &[Src], y: &[Src], delta: usize) -> Vec<Src> {
+    assert_eq!(x.len(), y.len(), "M(t, δ) needs equal-length halves");
+    assert!(delta >= 2 && delta.is_power_of_two(), "δ must be a power of two >= 2");
+    if delta == 2 {
+        return merger_base_into(b, x, y);
+    }
+    let g = merger_into(b, &evens(x), &evens(y), delta / 2);
+    let h = merger_into(b, &odds(x), &odds(y), delta / 2);
+    merger_base_into(b, &g, &h)
+}
+
+/// Builds the difference merging network `M(t, δ)` as a standalone
+/// network of input and output width `t`. The first input sequence is the
+/// first `t/2` input wires, the second input sequence the last `t/2`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] unless `δ` is a power of two
+/// `>= 2` and `t` is a positive multiple of `2δ`.
+pub fn merging_network(t: usize, delta: usize) -> Result<Network, BuildError> {
+    validate_merger_params(t, delta)?;
+    let mut b = NetworkBuilder::new(t, t);
+    let srcs = input_sources(t);
+    let (x, y) = srcs.split_at(t / 2);
+    let out = merger_into(&mut b, x, y, delta);
+    feed_outputs(&mut b, &out);
+    Ok(b.build_expect("difference merging network"))
+}
+
+/// The number of balancers in `M(t, δ)`: `(t/2)·lg δ` (each recursion
+/// level contributes one layer of `t/2` balancers).
+#[must_use]
+pub fn merger_balancer_count(t: usize, delta: usize) -> usize {
+    (t / 2) * (delta.trailing_zeros() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balnet::{is_step, quiescent_output, step_sequence};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Generates a pair of step input halves whose sums differ by at most
+    /// `delta` and feeds them to the merger; the output must be step.
+    fn check_merging_property(t: usize, delta: usize, trials: usize, seed: u64) {
+        let net = merging_network(t, delta).expect("valid parameters");
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..trials {
+            let sum_y: u64 = rng.gen_range(0..200);
+            let diff: u64 = rng.gen_range(0..=delta as u64);
+            let sum_x = sum_y + diff;
+            let mut input = step_sequence(sum_x, t / 2);
+            input.extend(step_sequence(sum_y, t / 2));
+            let out = quiescent_output(&net, &input);
+            assert!(
+                is_step(&out),
+                "M({t},{delta}) failed on Σx={sum_x} Σy={sum_y}: {out:?}"
+            );
+            assert_eq!(out.iter().sum::<u64>(), sum_x + sum_y);
+        }
+    }
+
+    #[test]
+    fn depth_is_lg_delta() {
+        // Lemma 3.1.
+        for (t, delta) in [(4, 2), (8, 2), (8, 4), (16, 4), (16, 8), (32, 8), (64, 16), (24, 4)] {
+            let net = merging_network(t, delta).expect("valid");
+            assert_eq!(net.depth(), delta.trailing_zeros() as usize, "M({t},{delta})");
+            assert_eq!(net.input_width(), t);
+            assert_eq!(net.output_width(), t);
+            assert!(net.is_regular());
+            assert_eq!(net.num_balancers(), merger_balancer_count(t, delta));
+        }
+    }
+
+    #[test]
+    fn base_case_m_t_2_merges() {
+        // Lemma 3.2: M(t, 2) with step halves differing by at most 2.
+        for t in [4usize, 8, 16, 32] {
+            check_merging_property(t, 2, 200, 42 + t as u64);
+        }
+    }
+
+    #[test]
+    fn recursive_merger_merges() {
+        // Lemma 3.3 for larger δ.
+        check_merging_property(8, 4, 300, 7);
+        check_merging_property(16, 4, 300, 8);
+        check_merging_property(16, 8, 300, 9);
+        check_merging_property(32, 8, 200, 10);
+        check_merging_property(32, 16, 200, 11);
+        check_merging_property(24, 4, 200, 12);
+    }
+
+    #[test]
+    fn exhaustive_small_merger() {
+        // M(8, 4): check *every* pair of step halves with sums up to 20 and
+        // difference at most 4.
+        let t = 8usize;
+        let delta = 4u64;
+        let net = merging_network(t, delta as usize).expect("valid");
+        for sum_y in 0..20u64 {
+            for d in 0..=delta {
+                let sum_x = sum_y + d;
+                let mut input = step_sequence(sum_x, t / 2);
+                input.extend(step_sequence(sum_y, t / 2));
+                let out = quiescent_output(&net, &input);
+                assert!(is_step(&out), "Σx={sum_x} Σy={sum_y}: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merger_is_not_required_to_handle_larger_differences() {
+        // Outside its contract (difference > δ) the merger may fail; verify
+        // that it *does* fail for some input, i.e. the δ parameter is tight
+        // and we are not accidentally building a full merger of depth lg t.
+        let t = 16usize;
+        let delta = 2usize;
+        let net = merging_network(t, delta).expect("valid");
+        let mut violated = false;
+        for sum_y in 0..40u64 {
+            let sum_x = sum_y + 8; // difference far above δ = 2
+            let mut input = step_sequence(sum_x, t / 2);
+            input.extend(step_sequence(sum_y, t / 2));
+            if !is_step(&quiescent_output(&net, &input)) {
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "M(16, 2) should not merge halves differing by 8");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(merging_network(8, 3).is_err());
+        assert!(merging_network(8, 8).is_err());
+        assert!(merging_network(0, 2).is_err());
+        assert!(merging_network(6, 2).is_err());
+    }
+
+    #[test]
+    fn figure6_m84_structure() {
+        // Fig. 6 (left): M(8, 4) has two layers of 4 balancers each.
+        let net = merging_network(8, 4).expect("valid");
+        assert_eq!(net.depth(), 2);
+        assert_eq!(net.num_balancers(), 8);
+        let layers = net.layers();
+        assert_eq!(layers[0].len(), 4);
+        assert_eq!(layers[1].len(), 4);
+    }
+
+    #[test]
+    fn figure6_m164_structure() {
+        // Fig. 6 (right): M(16, 4) has two layers of 8 balancers each.
+        let net = merging_network(16, 4).expect("valid");
+        assert_eq!(net.depth(), 2);
+        assert_eq!(net.num_balancers(), 16);
+    }
+}

@@ -1,0 +1,269 @@
+//! The counting network `C(w, t)` (Section 4) and its prefix `C'(w, t)`.
+//!
+//! `C(w, t)` is built recursively: a ladder `L(w)`, two copies of
+//! `C(w/2, t/2)`, and a difference merging network `M(t, w/2)` (Fig. 10).
+//! The recursion bottoms out at `C(2, 2p)`, a single `(2, 2p)`-balancer.
+//! The ladder bounds the difference of token counts entering the two
+//! recursive halves by `w/2`, which is exactly what `M(t, w/2)` needs
+//! (Theorem 4.2), and keeps the merger depth at `lg(w/2)` independent of
+//! `t` (Theorem 4.1).
+//!
+//! `C'(w, t)` ("counting prefix", Section 6.4 / Fig. 16 left) is `C(w, t)`
+//! with every merging sub-network removed: the first `lg w` layers of the
+//! unfolded construction, i.e. blocks `N_a` and `N_b`. It is an
+//! `s`-smoothing network for `s = ⌊w·lgw/t⌋ + 2` (Lemma 6.6) and is
+//! isomorphic — after widening its last layer back to `(2,2)`-balancers —
+//! to the backward butterfly `E(w)`.
+
+use balnet::{BuildError, Network, NetworkBuilder};
+
+use crate::ladder::ladder_into;
+use crate::merger::merger_into;
+use crate::params::validate_counting_params;
+use crate::wiring::{feed_balancer, feed_outputs, input_sources, Src};
+
+/// Adds the recursive counting network over the `w` given sources with
+/// output width `t`, returning the `t` output sources.
+pub(crate) fn counting_into(b: &mut NetworkBuilder, x: &[Src], t: usize) -> Vec<Src> {
+    let w = x.len();
+    debug_assert!(w >= 2 && w.is_power_of_two() && t.is_multiple_of(w));
+    if w == 2 {
+        // Recursive basis: C(2, t) is a single (2, t)-balancer.
+        let bal = b.add_balancer(2, t);
+        feed_balancer(b, x[0], bal, 0);
+        feed_balancer(b, x[1], bal, 1);
+        return (0..t).map(|o| Src::Bal(bal, o)).collect();
+    }
+    // Sub-step 1: ladder, then the two recursive halves.
+    let lad = ladder_into(b, x);
+    let (e, f) = lad.split_at(w / 2);
+    let g = counting_into(b, e, t / 2);
+    let h = counting_into(b, f, t / 2);
+    // Sub-step 2: merge with M(t, w/2).
+    merger_into(b, &g, &h, w / 2)
+}
+
+/// Adds the prefix network `C'(w, t)` (the construction without any
+/// merging sub-networks) over the given sources, returning the `t` output
+/// sources.
+pub(crate) fn counting_prefix_into(b: &mut NetworkBuilder, x: &[Src], t: usize) -> Vec<Src> {
+    let w = x.len();
+    debug_assert!(w >= 2 && w.is_power_of_two() && t.is_multiple_of(w));
+    if w == 2 {
+        let bal = b.add_balancer(2, t);
+        feed_balancer(b, x[0], bal, 0);
+        feed_balancer(b, x[1], bal, 1);
+        return (0..t).map(|o| Src::Bal(bal, o)).collect();
+    }
+    let lad = ladder_into(b, x);
+    let (e, f) = lad.split_at(w / 2);
+    let g = counting_prefix_into(b, e, t / 2);
+    let h = counting_prefix_into(b, f, t / 2);
+    let mut out = g;
+    out.extend(h);
+    out
+}
+
+/// Builds the counting network `C(w, t)` with input width `w = 2^k` and
+/// output width `t = p·w`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] if `w` is not a power of two
+/// `>= 2` or `t` is not a positive multiple of `w`.
+pub fn counting_network(w: usize, t: usize) -> Result<Network, BuildError> {
+    validate_counting_params(w, t)?;
+    let mut b = NetworkBuilder::new(w, t);
+    let srcs = input_sources(w);
+    let out = counting_into(&mut b, &srcs, t);
+    feed_outputs(&mut b, &out);
+    Ok(b.build_expect("counting network C(w, t)"))
+}
+
+/// Builds the prefix network `C'(w, t)`: the first `lg w` layers of
+/// `C(w, t)`, i.e. the unfolded blocks `N_a` and `N_b` without any merging
+/// sub-networks (Fig. 16, left). `C'(w, t)` is `s`-smoothing for
+/// `s = ⌊w·lgw/t⌋ + 2` (Lemma 6.6).
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] on invalid parameters (same
+/// requirements as [`counting_network`]).
+pub fn counting_prefix(w: usize, t: usize) -> Result<Network, BuildError> {
+    validate_counting_params(w, t)?;
+    let mut b = NetworkBuilder::new(w, t);
+    let srcs = input_sources(w);
+    let out = counting_prefix_into(&mut b, &srcs, t);
+    feed_outputs(&mut b, &out);
+    Ok(b.build_expect("counting-network prefix C'(w, t)"))
+}
+
+/// The number of balancers in `C(w, t)` computed from the recurrence
+/// `B(2, t) = 1`, `B(w, t) = w/2 + 2·B(w/2, t/2) + (t/2)·lg(w/2)`.
+#[must_use]
+pub fn counting_balancer_count(w: usize, t: usize) -> usize {
+    if w == 2 {
+        return 1;
+    }
+    let merger = (t / 2) * ((w / 2).trailing_zeros() as usize);
+    w / 2 + 2 * counting_balancer_count(w / 2, t / 2) + merger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depth::counting_depth;
+    use balnet::{
+        assign_counter_values, is_counting_network_exhaustive, is_counting_network_randomized,
+        quiescent_output, TokenExecutor,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn c2_t_is_a_single_balancer() {
+        for p in 1..5 {
+            let t = 2 * p;
+            let net = counting_network(2, t).expect("valid");
+            assert_eq!(net.num_balancers(), 1);
+            assert_eq!(net.depth(), 1);
+            assert_eq!(net.balancer_census(), vec![((2, t), 1)]);
+        }
+    }
+
+    #[test]
+    fn depth_matches_theorem_4_1() {
+        for (w, t) in [(2, 2), (4, 4), (4, 8), (8, 8), (8, 16), (8, 24), (16, 16), (16, 64), (32, 32)] {
+            let net = counting_network(w, t).expect("valid");
+            assert_eq!(
+                net.depth(),
+                counting_depth(w),
+                "depth of C({w},{t}) should be (lg²w + lgw)/2 and independent of t"
+            );
+        }
+    }
+
+    #[test]
+    fn balancer_count_matches_recurrence() {
+        for (w, t) in [(4, 4), (4, 8), (8, 8), (8, 16), (16, 16), (16, 32), (32, 32)] {
+            let net = counting_network(w, t).expect("valid");
+            assert_eq!(net.num_balancers(), counting_balancer_count(w, t), "C({w},{t})");
+        }
+    }
+
+    #[test]
+    fn census_uses_only_22_and_22p_balancers() {
+        // Section 1.3.1: C(w, t) is built from (2,2)- and (2,2p)-balancers,
+        // and there are exactly w/2 of the latter (block N_b).
+        let (w, t) = (8, 24);
+        let p = t / w;
+        let net = counting_network(w, t).expect("valid");
+        let census = net.balancer_census();
+        assert_eq!(census.len(), 2);
+        assert_eq!(census[1], ((2, 2 * p), w / 2));
+        assert_eq!(census[0].0, (2, 2));
+    }
+
+    #[test]
+    fn regular_when_w_equals_t() {
+        let net = counting_network(8, 8).expect("valid");
+        assert!(net.is_regular());
+        assert_eq!(net.balancer_census(), vec![((2, 2), net.num_balancers())]);
+    }
+
+    #[test]
+    fn small_networks_count_exhaustively() {
+        // Theorem 4.2 on exhaustively enumerated inputs.
+        for (w, t, bound) in [(2, 2, 8), (2, 6, 8), (4, 4, 4), (4, 8, 4)] {
+            let net = counting_network(w, t).expect("valid");
+            assert!(
+                is_counting_network_exhaustive(&net, bound),
+                "C({w},{t}) failed an exhaustive counting check"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_networks_count_randomized() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for (w, t) in [(8, 8), (8, 16), (8, 24), (16, 16), (16, 32), (16, 64), (32, 32), (32, 160)] {
+            let net = counting_network(w, t).expect("valid");
+            assert!(
+                is_counting_network_randomized(&net, 120, 64, &mut rng),
+                "C({w},{t}) failed a randomized counting check"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_right_network_c48() {
+        // Fig. 1 (right): C(4, 8) — input width 4, output width 8,
+        // depth (lg²4 + lg4)/2 = 3.
+        let net = counting_network(4, 8).expect("valid");
+        assert_eq!(net.input_width(), 4);
+        assert_eq!(net.output_width(), 8);
+        assert_eq!(net.depth(), 3);
+        // 13 tokens (as in the figure: 4+2+3+4) spread as a step sequence:
+        // 2 on the first five output wires, 1 on the remaining three.
+        let out = quiescent_output(&net, &[4, 2, 3, 4]);
+        assert_eq!(out, vec![2, 2, 2, 2, 2, 1, 1, 1]);
+        // The counter values 0..12 are handed out exactly once.
+        let mut values: Vec<u64> =
+            assign_counter_values(&out).into_iter().flatten().collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn token_executor_matches_closed_form_on_c816() {
+        let net = counting_network(8, 16).expect("valid");
+        let input = [7u64, 0, 3, 12, 5, 1, 0, 2];
+        let mut exec = TokenExecutor::new(&net);
+        exec.inject_sequence(&input);
+        assert_eq!(exec.output_counts(), quiescent_output(&net, &input));
+    }
+
+    #[test]
+    fn prefix_structure() {
+        // C'(w, t) has depth lg w; its last layer is the w/2 irregular
+        // balancers of block N_b, all earlier layers are (2,2).
+        for (w, t) in [(4, 8), (8, 8), (8, 16), (16, 64)] {
+            let p = t / w;
+            let net = counting_prefix(w, t).expect("valid");
+            assert_eq!(net.depth(), w.trailing_zeros() as usize);
+            assert_eq!(net.input_width(), w);
+            assert_eq!(net.output_width(), t);
+            let census = net.balancer_census();
+            if p == 1 {
+                assert_eq!(census, vec![((2, 2), net.num_balancers())]);
+            } else {
+                assert!(census.contains(&((2, 2 * p), w / 2)));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_is_smoothing_with_lemma_6_6_bound() {
+        use balnet::properties::observed_smoothness;
+        let mut rng = StdRng::seed_from_u64(99);
+        for (w, t) in [(4, 4), (8, 8), (8, 16), (16, 16), (16, 64)] {
+            let net = counting_prefix(w, t).expect("valid");
+            let lgw = w.trailing_zeros() as usize;
+            let s = (w * lgw / t) as u64 + 2;
+            let observed = observed_smoothness(&net, 150, 100, &mut rng);
+            assert!(
+                observed <= s,
+                "C'({w},{t}) observed smoothness {observed} exceeds Lemma 6.6 bound {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(counting_network(3, 3).is_err());
+        assert!(counting_network(4, 6).is_err());
+        assert!(counting_network(0, 4).is_err());
+        assert!(counting_network(1, 1).is_err());
+        assert!(counting_prefix(6, 6).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Parameter validation for the paper's constructions.
+//!
+//! The counting network `C(w, t)` requires `w = 2^k` and `t = p·w` for
+//! integers `k, p >= 1`; the merging network `M(t, δ)` requires
+//! `t = p·2^i`, `δ = 2^j` with `p >= 1` and `1 <= j < i` (Sections 3 and 4).
+
+use balnet::BuildError;
+
+/// Returns `true` if `x` is a power of two (and nonzero).
+#[must_use]
+pub fn is_power_of_two(x: usize) -> bool {
+    x != 0 && (x & (x - 1)) == 0
+}
+
+/// Base-2 logarithm of a power of two.
+///
+/// # Panics
+///
+/// Panics if `x` is not a power of two.
+#[must_use]
+pub fn lg(x: usize) -> u32 {
+    assert!(is_power_of_two(x), "lg is only defined for powers of two, got {x}");
+    x.trailing_zeros()
+}
+
+/// Validates the parameters of the counting network `C(w, t)`:
+/// `w = 2^k` with `k >= 1` and `t = p·w` with `p >= 1`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] describing the violated
+/// requirement.
+pub fn validate_counting_params(w: usize, t: usize) -> Result<(), BuildError> {
+    if w < 2 || !is_power_of_two(w) {
+        return Err(BuildError::InvalidParameter(format!(
+            "C(w, t) requires the input width w to be a power of two >= 2, got w = {w}"
+        )));
+    }
+    if t == 0 || !t.is_multiple_of(w) {
+        return Err(BuildError::InvalidParameter(format!(
+            "C(w, t) requires the output width t to be a positive multiple of w, got w = {w}, t = {t}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validates the parameters of the merging network `M(t, δ)`: `δ = 2^j`
+/// with `j >= 1`, and `t` a multiple of `2δ` (equivalently `t = p·2^i` with
+/// `i > j`), which is exactly what the recursive construction needs.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidParameter`] describing the violated
+/// requirement.
+pub fn validate_merger_params(t: usize, delta: usize) -> Result<(), BuildError> {
+    if delta < 2 || !is_power_of_two(delta) {
+        return Err(BuildError::InvalidParameter(format!(
+            "M(t, δ) requires the merging parameter δ to be a power of two >= 2, got δ = {delta}"
+        )));
+    }
+    if t == 0 || !t.is_multiple_of(2 * delta) {
+        return Err(BuildError::InvalidParameter(format!(
+            "M(t, δ) requires t to be a positive multiple of 2δ, got t = {t}, δ = {delta}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(2));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(3));
+        assert!(!is_power_of_two(6));
+    }
+
+    #[test]
+    fn lg_of_powers() {
+        assert_eq!(lg(1), 0);
+        assert_eq!(lg(2), 1);
+        assert_eq!(lg(8), 3);
+        assert_eq!(lg(1 << 20), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn lg_rejects_non_powers() {
+        let _ = lg(12);
+    }
+
+    #[test]
+    fn counting_params() {
+        assert!(validate_counting_params(2, 2).is_ok());
+        assert!(validate_counting_params(4, 8).is_ok());
+        assert!(validate_counting_params(8, 8).is_ok());
+        assert!(validate_counting_params(8, 24).is_ok());
+        assert!(validate_counting_params(1, 1).is_err());
+        assert!(validate_counting_params(6, 6).is_err());
+        assert!(validate_counting_params(4, 6).is_err());
+        assert!(validate_counting_params(4, 0).is_err());
+    }
+
+    #[test]
+    fn merger_params() {
+        assert!(validate_merger_params(4, 2).is_ok());
+        assert!(validate_merger_params(8, 2).is_ok());
+        assert!(validate_merger_params(8, 4).is_ok());
+        assert!(validate_merger_params(16, 4).is_ok());
+        assert!(validate_merger_params(24, 4).is_ok());
+        assert!(validate_merger_params(8, 8).is_err(), "needs t >= 2δ");
+        assert!(validate_merger_params(6, 2).is_err(), "t must be a multiple of 2δ");
+        assert!(validate_merger_params(8, 3).is_err(), "δ must be a power of two");
+        assert!(validate_merger_params(8, 1).is_err(), "δ >= 2");
+    }
+}

@@ -1,0 +1,58 @@
+//! Internal wiring helpers shared by the recursive constructions.
+//!
+//! Recursive constructions are expressed in terms of *wire sources*: a
+//! sub-network is handed the sources feeding its input wires and returns the
+//! sources of its output wires, all inside a single [`NetworkBuilder`]. The
+//! top-level construction then routes the final sources to the network's
+//! output wires.
+
+use balnet::{BalancerId, NetworkBuilder};
+
+/// Where a wire comes from: a network input wire or an output port of a
+/// balancer already added to the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Src {
+    /// Network input wire with the given index.
+    Input(usize),
+    /// Output port `1` of balancer `0`.
+    Bal(BalancerId, usize),
+}
+
+/// Connects a wire source to an input port of a balancer.
+pub(crate) fn feed_balancer(b: &mut NetworkBuilder, src: Src, to: BalancerId, port: usize) {
+    match src {
+        Src::Input(i) => b.connect_input(i, to, port),
+        Src::Bal(from, from_port) => b.connect(from, from_port, to, port),
+    }
+}
+
+/// Connects a wire source to a network output wire.
+pub(crate) fn feed_output(b: &mut NetworkBuilder, src: Src, output: usize) {
+    match src {
+        Src::Input(i) => b.connect_input_to_output(i, output),
+        Src::Bal(from, from_port) => b.connect_to_output(from, from_port, output),
+    }
+}
+
+/// Routes a whole sequence of sources to the network output wires
+/// `0..srcs.len()` in order.
+pub(crate) fn feed_outputs(b: &mut NetworkBuilder, srcs: &[Src]) {
+    for (i, &s) in srcs.iter().enumerate() {
+        feed_output(b, s, i);
+    }
+}
+
+/// The sources at network input wires `0..w`.
+pub(crate) fn input_sources(w: usize) -> Vec<Src> {
+    (0..w).map(Src::Input).collect()
+}
+
+/// Even-indexed elements of a source slice.
+pub(crate) fn evens(srcs: &[Src]) -> Vec<Src> {
+    srcs.iter().step_by(2).copied().collect()
+}
+
+/// Odd-indexed elements of a source slice.
+pub(crate) fn odds(srcs: &[Src]) -> Vec<Src> {
+    srcs.iter().skip(1).step_by(2).copied().collect()
+}

@@ -1,0 +1,154 @@
+//! Comparator-semantics evaluation of regular balancing networks.
+
+use balnet::{Network, Port};
+
+/// A comparator network obtained from a regular `(2,2)` balancing network
+/// by the balancer→comparator substitution of Aspnes, Herlihy & Shavit:
+/// each balancer compares its two inputs, sends the **larger** value to its
+/// first output wire and the smaller to its second. The network sorts (into
+/// non-increasing order) exactly when the balancing network counts.
+#[derive(Debug, Clone)]
+pub struct ComparatorNetwork {
+    network: Network,
+}
+
+impl ComparatorNetwork {
+    /// Wraps a regular balancing network built exclusively from
+    /// `(2,2)`-balancers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending balancer shape if any balancer is not `(2,2)`.
+    pub fn from_balancing(network: Network) -> Result<Self, (usize, usize)> {
+        for b in network.balancers() {
+            if b.fan_in != 2 || b.fan_out != 2 {
+                return Err((b.fan_in, b.fan_out));
+            }
+        }
+        Ok(Self { network })
+    }
+
+    /// The width of the network (number of values it sorts).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.network.input_width()
+    }
+
+    /// The depth of the comparator network (layers of comparators).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.network.depth()
+    }
+
+    /// The number of comparators.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.network.num_balancers()
+    }
+
+    /// The underlying balancing-network topology.
+    #[must_use]
+    pub fn as_network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Routes `values` through the network and returns the output
+    /// sequence. If the underlying balancing network is a counting network
+    /// the result is sorted in non-increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.width()`.
+    #[must_use]
+    pub fn apply<T: Ord + Clone>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.width(), "value count must equal the network width");
+        // Every wire carries exactly one value; evaluate balancers in
+        // topological order. Each balancer input port holds one value.
+        let mut balancer_inputs: Vec<[Option<T>; 2]> =
+            vec![[None, None]; self.network.num_balancers()];
+        let mut outputs: Vec<Option<T>> = vec![None; self.network.output_width()];
+
+        let deliver = |port: Port, value: T, balancer_inputs: &mut Vec<[Option<T>; 2]>, outputs: &mut Vec<Option<T>>| match port {
+            Port::Balancer { balancer, port } => {
+                debug_assert!(balancer_inputs[balancer][port].is_none());
+                balancer_inputs[balancer][port] = Some(value);
+            }
+            Port::Output(o) => {
+                debug_assert!(outputs[o].is_none());
+                outputs[o] = Some(value);
+            }
+        };
+
+        for (wire, value) in values.iter().cloned().enumerate() {
+            deliver(self.network.inputs()[wire], value, &mut balancer_inputs, &mut outputs);
+        }
+        for id in self.network.topological_order() {
+            let [a, b] = std::mem::take(&mut balancer_inputs[id.index()]);
+            let a = a.expect("both comparator inputs present");
+            let b = b.expect("both comparator inputs present");
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            let node = self.network.balancer(id);
+            deliver(node.outputs[0], hi, &mut balancer_inputs, &mut outputs);
+            deliver(node.outputs[1], lo, &mut balancer_inputs, &mut outputs);
+        }
+        outputs.into_iter().map(|v| v.expect("every output wire carries a value")).collect()
+    }
+
+    /// Sorts a slice in non-increasing order using the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.width()`.
+    pub fn sort_descending<T: Ord + Clone>(&self, values: &mut [T]) {
+        let sorted = self.apply(values);
+        values.clone_from_slice(&sorted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::bitonic_counting_network;
+    use counting::counting_network;
+
+    #[test]
+    fn rejects_irregular_networks() {
+        let net = counting_network(4, 8).expect("valid");
+        assert_eq!(ComparatorNetwork::from_balancing(net).unwrap_err(), (2, 4));
+    }
+
+    #[test]
+    fn cww_comparator_network_sorts_concrete_inputs() {
+        let net = counting_network(8, 8).expect("valid");
+        let cn = ComparatorNetwork::from_balancing(net).expect("regular");
+        assert_eq!(cn.width(), 8);
+        assert_eq!(cn.depth(), 6);
+        let out = cn.apply(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        assert_eq!(out, vec![9, 6, 5, 4, 3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn bitonic_comparator_network_sorts_concrete_inputs() {
+        let net = bitonic_counting_network(8).expect("valid");
+        let cn = ComparatorNetwork::from_balancing(net).expect("regular");
+        let out = cn.apply(&[0, 0, 1, 0, 1, 1, 0, 1]);
+        assert_eq!(out, vec![1, 1, 1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sort_descending_in_place() {
+        let net = counting_network(4, 4).expect("valid");
+        let cn = ComparatorNetwork::from_balancing(net).expect("regular");
+        let mut values = vec!["pear", "apple", "quince", "fig"];
+        cn.sort_descending(&mut values);
+        assert_eq!(values, vec!["quince", "pear", "fig", "apple"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "value count")]
+    fn apply_checks_width() {
+        let net = counting_network(4, 4).expect("valid");
+        let cn = ComparatorNetwork::from_balancing(net).expect("regular");
+        let _ = cn.apply(&[1, 2, 3]);
+    }
+}

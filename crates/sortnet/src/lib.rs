@@ -1,0 +1,28 @@
+//! # sortnet — sorting networks derived from balancing networks
+//!
+//! Section 7 of the paper observes that substituting a comparator for each
+//! balancer of a regular counting network yields a sorting network
+//! (Aspnes, Herlihy & Shavit's isomorphism between counting and sorting).
+//! Applied to `C(w, w)` this produces a new sorting network of depth
+//! `O(lg²w)`. This crate implements:
+//!
+//! * [`ComparatorNetwork`] — a comparator-semantics view of any *regular*
+//!   `(2,2)` balancing-network topology: each balancer routes the larger
+//!   input to its first output wire and the smaller to its second;
+//! * verification via the **0–1 principle** — exhaustive over all boolean
+//!   inputs for small widths, randomized for larger ones;
+//! * sorting of arbitrary `Ord` data by routing values through the network;
+//! * the comparison baseline: the bitonic sorting network obtained from the
+//!   bitonic counting network, and the classic odd–even transposition sort
+//!   as a depth reference.
+//!
+//! "Sorted" here means **non-increasing** order, matching the step property
+//! of token counts (larger counts on upper wires).
+
+#![warn(missing_docs)]
+
+pub mod comparator;
+pub mod verify;
+
+pub use comparator::ComparatorNetwork;
+pub use verify::{is_sorting_network_exhaustive, is_sorting_network_randomized};

@@ -1,0 +1,125 @@
+//! Verification of sorting networks via the 0–1 principle.
+//!
+//! A comparator network sorts every input sequence if and only if it sorts
+//! every sequence of zeros and ones (Knuth). For width `w` this gives an
+//! exhaustive check over `2^w` boolean inputs — practical for the widths
+//! used in tests — and a randomized check for larger widths.
+
+use rand::Rng;
+
+use crate::comparator::ComparatorNetwork;
+
+/// Returns `true` if the sequence is sorted in non-increasing order.
+fn is_non_increasing<T: Ord>(values: &[T]) -> bool {
+    values.windows(2).all(|w| w[0] >= w[1])
+}
+
+/// Exhaustively checks the 0–1 principle: the network sorts all `2^w`
+/// boolean inputs. Practical up to `w ≈ 20`.
+///
+/// # Panics
+///
+/// Panics if the width exceeds 25 (2^25 evaluations would be excessive for
+/// a test helper; use the randomized check instead).
+#[must_use]
+pub fn is_sorting_network_exhaustive(network: &ComparatorNetwork) -> bool {
+    let w = network.width();
+    assert!(w <= 25, "exhaustive 0-1 verification is limited to width <= 25");
+    for mask in 0u64..(1u64 << w) {
+        let input: Vec<u8> = (0..w).map(|i| ((mask >> i) & 1) as u8).collect();
+        if !is_non_increasing(&network.apply(&input)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Randomized check over `trials` random integer inputs (duplicates
+/// included). A failure is definitive; a pass is probabilistic.
+#[must_use]
+pub fn is_sorting_network_randomized<R: Rng>(
+    network: &ComparatorNetwork,
+    trials: usize,
+    rng: &mut R,
+) -> bool {
+    let w = network.width();
+    for _ in 0..trials {
+        let input: Vec<u32> = (0..w).map(|_| rng.gen_range(0..64)).collect();
+        if !is_non_increasing(&network.apply(&input)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balnet::NetworkBuilder;
+    use baselines::{bitonic_counting_network, periodic_counting_network};
+    use counting::counting_network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn comparator(net: balnet::Network) -> ComparatorNetwork {
+        ComparatorNetwork::from_balancing(net).expect("regular")
+    }
+
+    #[test]
+    fn cww_networks_sort() {
+        // Section 7: C(w, w) gives a sorting network of depth O(lg²w).
+        for w in [2usize, 4, 8, 16] {
+            let cn = comparator(counting_network(w, w).expect("valid"));
+            assert!(is_sorting_network_exhaustive(&cn), "C({w},{w}) comparator network");
+        }
+    }
+
+    #[test]
+    fn bitonic_and_periodic_networks_sort() {
+        for w in [2usize, 4, 8, 16] {
+            let b = comparator(bitonic_counting_network(w).expect("valid"));
+            assert!(is_sorting_network_exhaustive(&b), "bitonic[{w}]");
+            let p = comparator(periodic_counting_network(w).expect("valid"));
+            assert!(is_sorting_network_exhaustive(&p), "periodic[{w}]");
+        }
+    }
+
+    #[test]
+    fn larger_widths_randomized() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cn = comparator(counting_network(32, 32).expect("valid"));
+        assert!(is_sorting_network_randomized(&cn, 300, &mut rng));
+    }
+
+    #[test]
+    fn a_non_sorting_network_is_detected() {
+        // A single layer of independent comparators on 4 wires does not
+        // sort.
+        let mut b = NetworkBuilder::new(4, 4);
+        let b0 = b.add_balancer(2, 2);
+        let b1 = b.add_balancer(2, 2);
+        b.connect_input(0, b0, 0);
+        b.connect_input(1, b0, 1);
+        b.connect_input(2, b1, 0);
+        b.connect_input(3, b1, 1);
+        b.connect_to_output(b0, 0, 0);
+        b.connect_to_output(b0, 1, 1);
+        b.connect_to_output(b1, 0, 2);
+        b.connect_to_output(b1, 1, 3);
+        let cn = comparator(b.build().expect("valid"));
+        assert!(!is_sorting_network_exhaustive(&cn));
+    }
+
+    #[test]
+    fn depth_comparison_cww_equals_bitonic() {
+        // The derived sorting network has exactly the bitonic sorter's
+        // depth at every width (both are lgw(lgw+1)/2).
+        for w in [4usize, 8, 16, 32, 64] {
+            let ours = comparator(counting_network(w, w).expect("valid"));
+            let bitonic = comparator(bitonic_counting_network(w).expect("valid"));
+            assert_eq!(ours.depth(), bitonic.depth());
+            let periodic = comparator(periodic_counting_network(w).expect("valid"));
+            assert!(ours.depth() <= periodic.depth());
+        }
+    }
+}

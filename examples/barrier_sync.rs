@@ -1,0 +1,123 @@
+//! Barrier synchronization and load balancing on top of a counting
+//! network — the two motivating applications named in the paper's
+//! introduction ("distributed problems such as load balancing and barrier
+//! synchronization can be expressed and solved as counting problems").
+//!
+//! * **Sense-reversing barrier**: each of `P` threads performs a
+//!   Fetch&Increment per phase; the thread that draws the last value of the
+//!   phase flips the phase flag, releasing everybody.
+//! * **Load balancing**: a pool of workers pulls work-item indices from a
+//!   shared counter; the counting network spreads the index-dispensing
+//!   traffic over many memory locations instead of one hot atomic.
+//!
+//! Run with: `cargo run --release --example barrier_sync`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use counting_networks::efficient::counting_network;
+use counting_networks::runtime::{NetworkCounter, SharedCounter};
+
+/// A sense-reversing barrier whose arrival counter is a counting network.
+struct NetworkBarrier {
+    counter: NetworkCounter,
+    participants: u64,
+    /// Phase parity flag flipped by the last arriver of each phase.
+    sense: AtomicBool,
+}
+
+impl NetworkBarrier {
+    fn new(counter: NetworkCounter, participants: u64) -> Self {
+        Self { counter, participants, sense: AtomicBool::new(false) }
+    }
+
+    /// Blocks (by spinning) until all participants of the current phase
+    /// have arrived. Returns the phase index.
+    fn wait(&self, thread_id: usize) -> u64 {
+        let ticket = self.counter.next(thread_id);
+        let phase = ticket / self.participants;
+        let local_sense = phase % 2 == 1;
+        if (ticket + 1).is_multiple_of(self.participants) {
+            // Last arriver of this phase: release everyone.
+            self.sense.store(local_sense, Ordering::Release);
+        } else {
+            while self.sense.load(Ordering::Acquire) != local_sense {
+                std::hint::spin_loop();
+            }
+        }
+        phase
+    }
+}
+
+fn barrier_demo(threads: usize, phases: u64) {
+    let net = counting_network(8, 24).expect("valid parameters");
+    let barrier = NetworkBarrier::new(NetworkCounter::new("C(8,24)", &net), threads as u64);
+    let out_of_phase = AtomicU64::new(0);
+    let phase_marker = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let barrier = &barrier;
+            let out_of_phase = &out_of_phase;
+            let phase_marker = &phase_marker;
+            scope.spawn(move || {
+                for expected_phase in 0..phases {
+                    // Everybody must observe the same phase number, and no
+                    // thread may observe a marker from a *later* phase
+                    // before the barrier releases it.
+                    let phase = barrier.wait(tid);
+                    if phase != expected_phase {
+                        out_of_phase.fetch_add(1, Ordering::Relaxed);
+                    }
+                    phase_marker.fetch_max(phase, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    println!("barrier: {threads} threads × {phases} phases");
+    println!("  phase mismatches observed : {}", out_of_phase.load(Ordering::Relaxed));
+    println!("  final phase               : {}", phase_marker.load(Ordering::Relaxed));
+    assert_eq!(out_of_phase.load(Ordering::Relaxed), 0);
+}
+
+fn load_balancing_demo(threads: usize, items: u64) {
+    let net = counting_network(8, 24).expect("valid parameters");
+    let dispenser = NetworkCounter::new("C(8,24)", &net);
+    // Each "work item" is just a cell that must be processed exactly once.
+    let processed: Vec<AtomicU64> = (0..items).map(|_| AtomicU64::new(0)).collect();
+    let per_thread_counts = std::sync::Mutex::new(vec![0u64; threads]);
+
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let dispenser = &dispenser;
+            let processed = &processed;
+            let per_thread_counts = &per_thread_counts;
+            scope.spawn(move || {
+                let mut done = 0u64;
+                loop {
+                    let index = dispenser.next(tid);
+                    if index >= items {
+                        break;
+                    }
+                    processed[index as usize].fetch_add(1, Ordering::Relaxed);
+                    done += 1;
+                }
+                per_thread_counts.lock().expect("not poisoned")[tid] = done;
+            });
+        }
+    });
+
+    let exactly_once =
+        processed.iter().all(|c| c.load(Ordering::Relaxed) == 1);
+    let counts = per_thread_counts.into_inner().expect("not poisoned");
+    println!("load balancing: {items} items over {threads} workers");
+    println!("  every item processed exactly once : {exactly_once}");
+    println!("  per-worker item counts            : {counts:?}");
+    assert!(exactly_once);
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(8, |p| p.get()).min(16);
+    barrier_demo(threads, 200);
+    println!();
+    load_balancing_demo(threads, 100_000);
+}

@@ -1,0 +1,87 @@
+//! Contention study: reproduce the paper's central comparison in the
+//! stall-counting model.
+//!
+//! Sweeps the concurrency `n` and measures the amortized contention
+//! (stalls per token) of `C(w, w)`, `C(w, w·lgw)`, the bitonic network,
+//! the periodic network and the diffracting tree, under the lock-step
+//! (round-robin) schedule — the high-contention regime of Section 6.
+//! The measured numbers sit next to the theoretical bounds so the shape of
+//! Theorem 6.7 (and the `lg w` improvement at `t = w·lgw`) is visible
+//! directly.
+//!
+//! Run with: `cargo run --release --example contention_study`
+
+use counting_networks::baseline::{
+    bitonic_counting_network, diffracting_tree, periodic_counting_network,
+};
+use counting_networks::efficient::{
+    bitonic_contention_estimate, counting_network, cwt_contention_bound,
+    periodic_contention_estimate,
+};
+use counting_networks::sim::{measure_contention, SchedulerKind};
+
+fn main() {
+    let w = 16usize;
+    let lgw = w.trailing_zeros() as usize;
+    let tokens_per_process = 60u64;
+    let concurrencies = [w / 2, w, 2 * w, 4 * w, 8 * w, 16 * w];
+
+    let networks = vec![
+        (format!("C({w},{w})"), counting_network(w, w).expect("valid")),
+        (format!("C({w},{})", w * lgw), counting_network(w, w * lgw).expect("valid")),
+        (format!("Bitonic[{w}]"), bitonic_counting_network(w).expect("valid")),
+        (format!("Periodic[{w}]"), periodic_counting_network(w).expect("valid")),
+        (format!("DiffTree[{w}]"), diffracting_tree(w).expect("valid")),
+    ];
+
+    println!("Amortized contention (stalls per token), round-robin schedule, w = {w}");
+    print!("{:<16}", "network \\ n");
+    for n in concurrencies {
+        print!("{n:>10}");
+    }
+    println!();
+    for (name, net) in &networks {
+        print!("{name:<16}");
+        for n in concurrencies {
+            let m = tokens_per_process * n as u64;
+            let report = measure_contention(net, n, m, SchedulerKind::RoundRobin, 1);
+            print!("{:>10.1}", report.amortized_contention);
+        }
+        println!();
+    }
+
+    println!();
+    println!("Theoretical references at the same parameters:");
+    print!("{:<16}", "bound \\ n");
+    for n in concurrencies {
+        print!("{n:>10}");
+    }
+    println!();
+    type BoundFn = Box<dyn Fn(usize) -> f64>;
+    let bounds: Vec<(String, BoundFn)> = vec![
+        (format!("Thm6.7 t={w}"), Box::new(move |n| cwt_contention_bound(n, w, w))),
+        (
+            format!("Thm6.7 t={}", w * lgw),
+            Box::new(move |n| cwt_contention_bound(n, w, w * lgw)),
+        ),
+        ("bitonic est".into(), Box::new(move |n| bitonic_contention_estimate(n, w))),
+        ("periodic est".into(), Box::new(move |n| periodic_contention_estimate(n, w))),
+    ];
+    for (name, f) in &bounds {
+        print!("{name:<16}");
+        for n in concurrencies {
+            print!("{:>10.1}", f(n));
+        }
+        println!();
+    }
+
+    println!();
+    println!(
+        "Reading the table: at high concurrency the wide-output network C({w},{})\n\
+         has the lowest measured contention of the counting networks, matching the\n\
+         paper's claim that choosing t = w·lgw improves the bitonic network by a\n\
+         factor of lg w; the diffracting tree degrades linearly in n because every\n\
+         token crosses the root balancer.",
+        w * lgw
+    );
+}

@@ -1,0 +1,96 @@
+//! Shared-counter workload: the motivating application of the paper.
+//!
+//! A pool of threads hammers a Fetch&Increment counter. We compare the
+//! network-backed counters (the paper's `C(w, t)` at `t = w` and
+//! `t = w·lgw`, the bitonic and periodic networks) against a centralized
+//! atomic counter and a mutex counter, verifying that every implementation
+//! hands out each value exactly once and reporting the sustained
+//! throughput.
+//!
+//! Run with: `cargo run --release --example shared_counter`
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use counting_networks::baseline::{bitonic_counting_network, periodic_counting_network};
+use counting_networks::efficient::counting_network;
+use counting_networks::runtime::{
+    measure_throughput, CentralCounter, DiffractingCounter, LockCounter, NetworkCounter,
+    SharedCounter,
+};
+
+/// Drives the counter with `threads` threads doing `ops` operations each
+/// and checks that the handed-out values are exactly `0..threads*ops`.
+fn verify_uniqueness<C: SharedCounter>(counter: &C, threads: usize, ops: usize) -> bool {
+    let collected = Mutex::new(Vec::with_capacity(threads * ops));
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let collected = &collected;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(ops);
+                for _ in 0..ops {
+                    local.push(counter.next(tid));
+                }
+                collected.lock().expect("not poisoned").extend(local);
+            });
+        }
+    });
+    let values = collected.into_inner().expect("not poisoned");
+    let expected = (threads * ops) as u64;
+    let set: HashSet<u64> = values.iter().copied().collect();
+    set.len() as u64 == expected && values.iter().all(|&v| v < expected)
+}
+
+fn main() {
+    let w = 8usize;
+    let lgw = w.trailing_zeros() as usize;
+    let threads = std::thread::available_parallelism().map_or(8, |p| p.get());
+    let ops_per_thread = 20_000u64;
+
+    println!("Fetch&Increment shared counter comparison");
+    println!("  threads        : {threads}");
+    println!("  ops per thread : {ops_per_thread}");
+    println!();
+
+    let networks = vec![
+        (format!("C({w},{w})"), counting_network(w, w).expect("valid")),
+        (format!("C({w},{})", w * lgw), counting_network(w, w * lgw).expect("valid")),
+        (format!("Bitonic[{w}]"), bitonic_counting_network(w).expect("valid")),
+        (format!("Periodic[{w}]"), periodic_counting_network(w).expect("valid")),
+    ];
+
+    let mut counters: Vec<Box<dyn SharedCounter>> = Vec::new();
+    for (name, net) in &networks {
+        counters.push(Box::new(NetworkCounter::new(name.clone(), net)));
+    }
+    counters.push(Box::new(DiffractingCounter::new(w, 8, 128)));
+    counters.push(Box::new(CentralCounter::new()));
+    counters.push(Box::new(LockCounter::new()));
+
+    println!("{:<16} {:>14} {:>12}", "counter", "ops/second", "unique 0..m");
+    for counter in &counters {
+        let m = measure_throughput(counter.as_ref(), threads, ops_per_thread);
+        // Uniqueness is checked on a fresh, smaller run so the printed
+        // throughput is not polluted by the bookkeeping.
+        let ok = match counter.describe().as_str() {
+            name if name.starts_with("C(") || name.starts_with("Bitonic") || name.starts_with("Periodic") => {
+                let net = &networks.iter().find(|(n, _)| n == name).expect("known").1;
+                verify_uniqueness(&NetworkCounter::new(name.to_owned(), net), threads, 2_000)
+            }
+            name if name.starts_with("diffracting") => {
+                verify_uniqueness(&DiffractingCounter::new(w, 8, 128), threads, 2_000)
+            }
+            "central fetch_add" => verify_uniqueness(&CentralCounter::new(), threads, 2_000),
+            _ => verify_uniqueness(&LockCounter::new(), threads, 2_000),
+        };
+        println!("{:<16} {:>14.0} {:>12}", m.counter, m.ops_per_second, ok);
+    }
+
+    println!();
+    println!(
+        "Note: on a machine with few cores the central fetch_add usually wins on raw\n\
+         throughput; the counting networks win on *contention* — no single memory\n\
+         location is touched by every operation — which is what the paper's\n\
+         stall-model analysis (and the contention_study example) quantifies."
+    );
+}

@@ -1,0 +1,68 @@
+//! The sorting-network byproduct of Section 7.
+//!
+//! Replacing every balancer of the regular counting network `C(w, w)` with
+//! a comparator yields a sorting network of depth `O(lg²w)`. This example
+//! derives that network, verifies it with the 0–1 principle, sorts some
+//! data with it, and compares its depth and size against the bitonic and
+//! periodic sorting networks at several widths.
+//!
+//! Run with: `cargo run --release --example sorting_from_counting`
+
+use counting_networks::baseline::{bitonic_counting_network, periodic_counting_network};
+use counting_networks::efficient::counting_network;
+use counting_networks::sorting::{is_sorting_network_exhaustive, ComparatorNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Derive a sorting network from C(16, 16) and verify it exhaustively
+    // with the 0-1 principle (2^16 boolean inputs).
+    let w = 16usize;
+    let network = counting_network(w, w).expect("valid parameters");
+    let sorter = ComparatorNetwork::from_balancing(network).expect("C(w,w) is regular");
+    println!("Sorting network derived from C({w},{w})");
+    println!("  width        : {}", sorter.width());
+    println!("  depth        : {}", sorter.depth());
+    println!("  comparators  : {}", sorter.size());
+    println!("  0-1 verified : {}", is_sorting_network_exhaustive(&sorter));
+    println!();
+
+    // Sort some data (non-increasing order, matching the step property).
+    let mut rng = StdRng::seed_from_u64(2024);
+    let data: Vec<u32> = (0..w).map(|_| rng.gen_range(0..1000)).collect();
+    let sorted = sorter.apply(&data);
+    println!("  input : {data:?}");
+    println!("  output: {sorted:?}");
+    assert!(sorted.windows(2).all(|p| p[0] >= p[1]));
+    println!();
+
+    // Depth/size comparison across widths.
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>14}",
+        "width", "C(w,w) depth", "bitonic depth", "periodic depth", "C(w,w) compars"
+    );
+    for k in 2..=7 {
+        let w = 1usize << k;
+        let ours = ComparatorNetwork::from_balancing(counting_network(w, w).expect("valid"))
+            .expect("regular");
+        let bitonic =
+            ComparatorNetwork::from_balancing(bitonic_counting_network(w).expect("valid"))
+                .expect("regular");
+        let periodic =
+            ComparatorNetwork::from_balancing(periodic_counting_network(w).expect("valid"))
+                .expect("regular");
+        println!(
+            "{:<8} {:>12} {:>12} {:>14} {:>14}",
+            w,
+            ours.depth(),
+            bitonic.depth(),
+            periodic.depth(),
+            ours.size()
+        );
+    }
+    println!();
+    println!(
+        "The derived network matches the bitonic sorter's depth lgw(lgw+1)/2 at every\n\
+         width and improves on the periodic sorter's lg²w, as stated in Section 7."
+    );
+}

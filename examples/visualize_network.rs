@@ -1,0 +1,49 @@
+//! Render the paper's constructions as Graphviz figures.
+//!
+//! Writes DOT files for the networks depicted in Figs. 1–3 and 6 of the
+//! paper (`C(4,8)`, `C(8,16)`, `M(8,4)`, `M(16,4)`, the butterfly and the
+//! baselines) into `target/figures/`. Turn them into SVGs with e.g.
+//! `dot -Tsvg target/figures/c_4_8.dot -o c_4_8.svg`.
+//!
+//! Run with: `cargo run --example visualize_network`
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use counting_networks::baseline::{bitonic_counting_network, periodic_counting_network};
+use counting_networks::efficient::{counting_network, forward_butterfly, merging_network};
+use counting_networks::net::{to_dot, DotOptions, Network};
+
+fn write_figure(dir: &Path, file: &str, title: &str, network: &Network) {
+    let options = DotOptions { name: title.to_owned(), rank_by_layer: true };
+    let dot = to_dot(network, &options);
+    let path = dir.join(file);
+    fs::write(&path, dot).expect("write DOT file");
+    println!(
+        "{:<28} -> {} ({} balancers, depth {})",
+        title,
+        path.display(),
+        network.num_balancers(),
+        network.depth()
+    );
+}
+
+fn main() {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir).expect("create figures directory");
+
+    write_figure(&dir, "c_4_8.dot", "C(4,8) — Fig. 1", &counting_network(4, 8).expect("valid"));
+    write_figure(&dir, "c_8_16.dot", "C(8,16) — Fig. 3", &counting_network(8, 16).expect("valid"));
+    write_figure(&dir, "m_8_4.dot", "M(8,4) — Fig. 6", &merging_network(8, 4).expect("valid"));
+    write_figure(&dir, "m_16_4.dot", "M(16,4) — Fig. 6", &merging_network(16, 4).expect("valid"));
+    write_figure(&dir, "butterfly_8.dot", "D(8) — Fig. 14", &forward_butterfly(8).expect("valid"));
+    write_figure(&dir, "bitonic_8.dot", "Bitonic[8]", &bitonic_counting_network(8).expect("valid"));
+    write_figure(
+        &dir,
+        "periodic_8.dot",
+        "Periodic[8]",
+        &periodic_counting_network(8).expect("valid"),
+    );
+
+    println!("\nRender with: dot -Tsvg target/figures/c_4_8.dot -o c_4_8.svg");
+}

@@ -1,0 +1,68 @@
+//! Experiments E11/E12 through the public facade: the design ablations and
+//! the Aharonson–Attiya feasibility analysis.
+
+use counting_networks::efficient::{
+    counting_network, counting_network_bitonic_merger, counting_network_no_ladder,
+    counting_width_feasible, feasible_output_widths,
+};
+use counting_networks::net::{is_counting_network_randomized, quiescent_output};
+use counting_networks::sim::{measure_contention, SchedulerKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn bitonic_merger_ablation_counts_but_is_deeper_and_more_contended() {
+    let (w, t) = (16usize, 64usize);
+    let ours = counting_network(w, t).expect("valid");
+    let variant = counting_network_bitonic_merger(w, t).expect("valid");
+
+    let mut rng = StdRng::seed_from_u64(71);
+    assert!(is_counting_network_randomized(&variant, 80, 64, &mut rng));
+    assert!(variant.depth() > ours.depth(), "the ablation must be deeper at t > w");
+
+    let n = 8 * w;
+    let m = (n * 40) as u64;
+    let c_ours = measure_contention(&ours, n, m, SchedulerKind::RoundRobin, 1).amortized_contention;
+    let c_variant =
+        measure_contention(&variant, n, m, SchedulerKind::RoundRobin, 1).amortized_contention;
+    assert!(
+        c_variant > c_ours,
+        "the deeper ablation should also be more contended: {c_variant:.1} vs {c_ours:.1}"
+    );
+}
+
+#[test]
+fn no_ladder_ablation_shares_inputs_but_not_correctness() {
+    let (w, t) = (8usize, 8usize);
+    let ours = counting_network(w, t).expect("valid");
+    let variant = counting_network_no_ladder(w, t).expect("builds");
+    // Same interface, same token conservation ...
+    let input = vec![5u64; w];
+    assert_eq!(
+        quiescent_output(&ours, &input).iter().sum::<u64>(),
+        quiescent_output(&variant, &input).iter().sum::<u64>()
+    );
+    // ... but only the real construction is a counting network.
+    let mut rng = StdRng::seed_from_u64(72);
+    assert!(is_counting_network_randomized(&ours, 100, 16, &mut rng));
+    assert!(!is_counting_network_randomized(&variant, 300, 16, &mut rng));
+}
+
+#[test]
+fn feasibility_analysis_matches_the_constructible_widths() {
+    // With only (2,2)-balancers the feasible widths are powers of two —
+    // and those are exactly the widths our regular constructions accept.
+    assert_eq!(feasible_output_widths(&[2], 16), vec![1, 2, 4, 8, 16]);
+    for w in [2usize, 4, 8, 16] {
+        assert!(counting_network(w, w).is_ok());
+    }
+    for w in [6usize, 10, 12] {
+        assert!(counting_network(w, w).is_err());
+        assert!(counting_width_feasible(w, &[2]).is_err() || w == 12,
+            "width {w} with only binary balancers");
+    }
+    // Width 12 = 2²·3 is infeasible with binary balancers but becomes
+    // feasible once a width divisible by 3 is available.
+    assert!(counting_width_feasible(12, &[2]).is_err());
+    assert!(counting_width_feasible(12, &[2, 6]).is_ok());
+}

@@ -1,0 +1,132 @@
+//! Experiment E1: the constructions drawn in the paper's figures.
+//!
+//! Figures 1–3, 5–6 and 10–13 depict concrete instances of the ladder,
+//! merging and counting networks. These tests rebuild every depicted
+//! instance and check the structural facts visible in the figures:
+//! widths, depths, balancer counts, layer sizes and balancer shapes.
+
+use counting_networks::baseline::{bitonic_counting_network, periodic_counting_network};
+use counting_networks::efficient::{
+    counting_depth, counting_network, ladder, merger_depth, merging_network,
+};
+use counting_networks::net::{is_step, quiescent_output};
+
+#[test]
+fn fig1_left_the_4_6_balancer_distribution() {
+    // A (4,6)-balancer that received 7 tokens emits 2,1,1,1,1,1.
+    let out = counting_networks::net::balancer_step_output(7, 6);
+    assert_eq!(out, vec![2, 1, 1, 1, 1, 1]);
+}
+
+#[test]
+fn fig1_right_c48() {
+    let net = counting_network(4, 8).expect("valid");
+    assert_eq!(net.input_width(), 4);
+    assert_eq!(net.output_width(), 8);
+    assert_eq!(net.depth(), 3);
+    // The figure's input: 4, 2, 3, 4 tokens; 13 tokens spread as a step.
+    let out = quiescent_output(&net, &[4, 2, 3, 4]);
+    assert!(is_step(&out));
+    assert_eq!(out.iter().sum::<u64>(), 13);
+}
+
+#[test]
+fn fig2_regular_networks_c44_and_c88() {
+    let c44 = counting_network(4, 4).expect("valid");
+    assert_eq!(c44.depth(), 3);
+    assert!(c44.is_regular());
+    assert_eq!(c44.balancer_census(), vec![((2, 2), c44.num_balancers())]);
+
+    let c88 = counting_network(8, 8).expect("valid");
+    assert_eq!(c88.depth(), 6);
+    assert!(c88.is_regular());
+}
+
+#[test]
+fn fig3_block_partition_of_c816() {
+    // C(8,16): blocks Na (2 layers of width 8), Nb (1 layer of (2,4)
+    // balancers), Nc (3 layers of width 16).
+    let net = counting_network(8, 16).expect("valid");
+    assert_eq!(net.depth(), 6);
+    let layers = net.layers();
+    assert_eq!(layers.len(), 6);
+    for layer in &layers[..2] {
+        assert_eq!(layer.len(), 4, "Na layers have w/2 = 4 balancers");
+    }
+    assert_eq!(layers[2].len(), 4, "Nb layer has w/2 balancers");
+    for id in &layers[2] {
+        let b = net.balancer(*id);
+        assert_eq!((b.fan_in, b.fan_out), (2, 4), "Nb balancers are (2, 2p) with p = 2");
+    }
+    for layer in &layers[3..] {
+        assert_eq!(layer.len(), 8, "Nc layers have t/2 = 8 balancers");
+    }
+}
+
+#[test]
+fn fig5_merger_base_case_is_one_layer() {
+    for t in [4usize, 8, 16, 32] {
+        let m = merging_network(t, 2).expect("valid");
+        assert_eq!(m.depth(), 1);
+        assert_eq!(m.num_balancers(), t / 2);
+    }
+}
+
+#[test]
+fn fig6_mergers_m84_and_m164() {
+    let m84 = merging_network(8, 4).expect("valid");
+    assert_eq!((m84.depth(), m84.num_balancers()), (2, 8));
+    let m164 = merging_network(16, 4).expect("valid");
+    assert_eq!((m164.depth(), m164.num_balancers()), (2, 16));
+    assert_eq!(merger_depth(4), 2);
+}
+
+#[test]
+fn fig10_recursive_structure_depth_recurrence() {
+    // depth(C(w,t)) = 1 + depth(C(w/2,t/2)) + depth(M(t, w/2)).
+    for (w, t) in [(4usize, 8usize), (8, 16), (16, 16), (16, 64), (32, 32)] {
+        let whole = counting_network(w, t).expect("valid").depth();
+        let half = counting_network(w / 2, t / 2).expect("valid").depth();
+        let merger = merging_network(t, w / 2).expect("valid").depth();
+        assert_eq!(whole, 1 + half + merger, "C({w},{t})");
+    }
+}
+
+#[test]
+fn fig11_12_13_straightened_networks() {
+    // Fig. 11: C(4,4) and C(4,8); Fig. 12: C(8,8); Fig. 13: C(8,16).
+    for (w, t, expected_depth) in [(4, 4, 3), (4, 8, 3), (8, 8, 6), (8, 16, 6)] {
+        let net = counting_network(w, t).expect("valid");
+        assert_eq!(net.depth(), expected_depth, "C({w},{t})");
+        assert_eq!(net.depth(), counting_depth(w));
+        // Every depicted instance is a counting network; spot-check with a
+        // skewed input.
+        let mut input = vec![0u64; w];
+        input[0] = 3 * w as u64;
+        input[w - 1] = 1;
+        assert!(is_step(&quiescent_output(&net, &input)));
+    }
+}
+
+#[test]
+fn ladder_of_fig10_is_one_layer_of_w_half_balancers() {
+    for w in [4usize, 8, 16] {
+        let l = ladder(w).expect("valid");
+        assert_eq!(l.depth(), 1);
+        assert_eq!(l.num_balancers(), w / 2);
+    }
+}
+
+#[test]
+fn comparison_networks_referenced_in_section_1_3() {
+    // The bitonic network has the same depth as C(w, w); the periodic one
+    // is deeper.
+    for k in 1..6 {
+        let w = 1usize << k;
+        let ours = counting_network(w, w).expect("valid");
+        let bitonic = bitonic_counting_network(w).expect("valid");
+        let periodic = periodic_counting_network(w).expect("valid");
+        assert_eq!(ours.depth(), bitonic.depth());
+        assert!(periodic.depth() >= ours.depth());
+    }
+}

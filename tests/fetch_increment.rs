@@ -1,0 +1,109 @@
+//! Experiment E10: Fetch&Increment semantics (Section 1.1), sequentially,
+//! in simulation, and under real concurrency.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use counting_networks::baseline::{
+    bitonic_counting_network, diffracting_tree, periodic_counting_network,
+};
+use counting_networks::efficient::counting_network;
+use counting_networks::net::{assign_counter_values, quiescent_output};
+use counting_networks::runtime::{NetworkCounter, SharedCounter};
+use counting_networks::sim::{measure_contention, SchedulerKind};
+
+#[test]
+fn quiescent_counter_values_form_the_exact_range() {
+    for (w, t) in [(4usize, 4usize), (4, 8), (8, 8), (8, 24), (16, 64)] {
+        let net = counting_network(w, t).expect("valid");
+        let input: Vec<u64> = (0..w as u64).map(|i| 3 * i + 1).collect();
+        let m: u64 = input.iter().sum();
+        let out = quiescent_output(&net, &input);
+        let mut values: Vec<u64> =
+            assign_counter_values(&out).into_iter().flatten().collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..m).collect::<Vec<_>>(), "C({w},{t})");
+    }
+}
+
+#[test]
+fn simulated_runs_hand_out_the_exact_range_for_every_network() {
+    let nets = vec![
+        ("C(8,8)".to_owned(), counting_network(8, 8).expect("valid")),
+        ("C(8,24)".to_owned(), counting_network(8, 24).expect("valid")),
+        ("Bitonic[8]".to_owned(), bitonic_counting_network(8).expect("valid")),
+        ("Periodic[8]".to_owned(), periodic_counting_network(8).expect("valid")),
+        ("DiffTree[8]".to_owned(), diffracting_tree(8).expect("valid")),
+    ];
+    for (name, net) in &nets {
+        for scheduler in [SchedulerKind::RoundRobin, SchedulerKind::Random, SchedulerKind::GreedyHotspot] {
+            let report = measure_contention(net, 12, 360, scheduler, 3);
+            assert!(
+                report.fetch_increment.is_exact_range,
+                "{name} under {scheduler:?} handed out a wrong value set"
+            );
+            assert_eq!(report.fetch_increment.values_handed_out, 360);
+        }
+    }
+}
+
+#[test]
+fn concurrent_network_counter_values_are_unique_and_dense() {
+    let threads = 8usize;
+    let per_thread = 5_000usize;
+    for (name, net) in [
+        ("C(8,8)", counting_network(8, 8).expect("valid")),
+        ("C(8,24)", counting_network(8, 24).expect("valid")),
+        ("Bitonic[8]", bitonic_counting_network(8).expect("valid")),
+    ] {
+        let counter = NetworkCounter::new(name, &net);
+        let collected = Mutex::new(Vec::with_capacity(threads * per_thread));
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let counter = &counter;
+                let collected = &collected;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(per_thread);
+                    for _ in 0..per_thread {
+                        local.push(counter.next(tid));
+                    }
+                    collected.lock().expect("not poisoned").extend(local);
+                });
+            }
+        });
+        let values = collected.into_inner().expect("not poisoned");
+        let m = (threads * per_thread) as u64;
+        let unique: HashSet<u64> = values.iter().copied().collect();
+        assert_eq!(unique.len() as u64, m, "{name}: duplicate counter values");
+        assert!(values.iter().all(|&v| v < m), "{name}: value outside 0..m");
+    }
+}
+
+#[test]
+fn diffracting_tree_counter_with_single_entry_wire() {
+    // The diffracting tree has a single input wire; every thread enters
+    // there. Values must still be unique and dense.
+    let net = diffracting_tree(16).expect("valid");
+    let counter = NetworkCounter::new("DiffTree[16]", &net);
+    let threads = 4usize;
+    let per_thread = 2_000usize;
+    let collected = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let counter = &counter;
+            let collected = &collected;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(per_thread);
+                for _ in 0..per_thread {
+                    local.push(counter.next(tid));
+                }
+                collected.lock().expect("not poisoned").extend(local);
+            });
+        }
+    });
+    let values = collected.into_inner().expect("not poisoned");
+    let m = (threads * per_thread) as u64;
+    let unique: HashSet<u64> = values.iter().copied().collect();
+    assert_eq!(unique.len() as u64, m);
+    assert!(values.iter().all(|&v| v < m));
+}

@@ -1,0 +1,80 @@
+//! Experiment E9: isomorphism results (Section 2.3 and Lemma 5.3).
+
+use counting_networks::efficient::{backward_butterfly, counting_prefix, forward_butterfly};
+use counting_networks::net::{
+    find_isomorphism, is_smoothing_network_randomized, verify_isomorphism, NetworkMapping,
+    Permutation,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn lemma_5_3_backward_and_forward_butterflies_are_isomorphic() {
+    for w in [1usize, 2, 4, 8, 16] {
+        let d = forward_butterfly(w).expect("valid");
+        let e = backward_butterfly(w).expect("valid");
+        let mapping = find_isomorphism(&d, &e);
+        assert!(mapping.is_some(), "D({w}) and E({w}) must be isomorphic");
+        let mapping = mapping.expect("just checked");
+        assert!(verify_isomorphism(&d, &e, &mapping));
+    }
+}
+
+#[test]
+fn butterflies_are_not_isomorphic_across_widths() {
+    let d8 = forward_butterfly(8).expect("valid");
+    let d16 = forward_butterfly(16).expect("valid");
+    assert!(find_isomorphism(&d8, &d16).is_none());
+}
+
+#[test]
+fn prefix_with_regular_last_layer_is_isomorphic_to_backward_butterfly() {
+    // Lemma 6.6's proof: C''(w) — the prefix C'(w, t) with its last layer
+    // widened back to (2,2)-balancers — is a backward butterfly. For
+    // t = w the prefix already *is* C''(w).
+    for w in [2usize, 4, 8, 16] {
+        let prefix = counting_prefix(w, w).expect("valid");
+        let e = backward_butterfly(w).expect("valid");
+        let mapping = find_isomorphism(&prefix, &e);
+        assert!(mapping.is_some(), "C'({w},{w}) should be a backward butterfly");
+    }
+}
+
+#[test]
+fn lemma_2_8_isomorphic_networks_share_smoothing_behaviour() {
+    // D(w) is lgw-smoothing; E(w), being isomorphic, must be too —
+    // checked directly rather than through the lemma.
+    let mut rng = StdRng::seed_from_u64(51);
+    for w in [4usize, 8, 16, 32] {
+        let k = w.trailing_zeros() as u64;
+        let e = backward_butterfly(w).expect("valid");
+        assert!(is_smoothing_network_randomized(&e, k, 200, 200, &mut rng));
+    }
+}
+
+#[test]
+fn permutation_machinery_of_section_2_3() {
+    // π(x) is k-smooth when x is (Lemma 2.6), and π^R(π(i)) = i.
+    let p = Permutation::new(vec![3, 1, 4, 0, 2]);
+    let inv = p.inverse();
+    for i in 0..5 {
+        assert_eq!(inv.apply(p.apply(i)), i);
+    }
+    let x = vec![7u64, 7, 8, 8, 7];
+    let y = p.apply_to_sequence(&x);
+    assert_eq!(x.iter().sum::<u64>(), y.iter().sum::<u64>());
+    assert!(counting_networks::net::is_k_smooth(&y, 1));
+}
+
+#[test]
+fn identity_mapping_verifies_on_any_network() {
+    let d = forward_butterfly(8).expect("valid");
+    let id = NetworkMapping { mapping: (0..d.num_balancers()).collect() };
+    assert!(verify_isomorphism(&d, &d, &id));
+    // A transposition of two balancers in different layers must fail.
+    if d.num_balancers() >= 8 {
+        let mut bad = (0..d.num_balancers()).collect::<Vec<_>>();
+        bad.swap(0, d.num_balancers() - 1);
+        assert!(!verify_isomorphism(&d, &d, &NetworkMapping { mapping: bad }));
+    }
+}

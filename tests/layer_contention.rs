@@ -1,0 +1,88 @@
+//! The layer-contention methodology of Section 6.2 (Corollary 6.4),
+//! validated empirically.
+//!
+//! Corollary 6.4: a layer of balancers with maximum output width `q` and
+//! layer output width `W`, whose input is `k`-smooth in every quiescent
+//! state, has amortized contention at most `q·n/W + q·(k+1)`.
+//!
+//! In `C(w, t)` the layers of block `N_c` have `q = 2`, width `W = t`, and
+//! their inputs are `s`-smooth with `s = ⌊w·lgw/t⌋ + 2` (Lemma 6.6 plus
+//! Lemma 2.5). We measure per-layer stalls under the lock-step scheduler
+//! and check each `N_c` layer against its bound, and we verify the peak
+//! queue lengths shrink as `t` grows (the "wider is cooler" argument).
+
+use counting_networks::efficient::{
+    block_of_layer, bounds::prefix_smoothness_bound, counting_network, layer_contention_bound,
+    BlockKind,
+};
+use counting_networks::sim::{measure_contention, SchedulerKind};
+
+#[test]
+fn nc_layer_contention_respects_corollary_6_4() {
+    let w = 16usize;
+    let n = 8 * w;
+    let m = (n * 50) as u64;
+    for p in [1usize, 4, 8] {
+        let t = w * p;
+        let net = counting_network(w, t).expect("valid");
+        let report = measure_contention(&net, n, m, SchedulerKind::RoundRobin, 3);
+        let s = prefix_smoothness_bound(w, t);
+        let bound = layer_contention_bound(2, n, t, s);
+        for layer in 1..=net.depth() {
+            if block_of_layer(w, layer) != BlockKind::C {
+                continue;
+            }
+            let measured = report.per_layer_stalls[layer - 1] as f64 / m as f64;
+            assert!(
+                measured <= bound,
+                "C({w},{t}) layer {layer}: measured {measured:.2} exceeds Corollary 6.4 bound {bound:.2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn peak_queues_in_nc_shrink_as_t_grows() {
+    let w = 16usize;
+    let n = 8 * w;
+    let m = (n * 50) as u64;
+    let mut peaks = Vec::new();
+    for p in [1usize, 8] {
+        let t = w * p;
+        let net = counting_network(w, t).expect("valid");
+        let report = measure_contention(&net, n, m, SchedulerKind::RoundRobin, 3);
+        // The hottest queue anywhere inside block Nc.
+        let peak = net
+            .layers()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| block_of_layer(w, i + 1) == BlockKind::C)
+            .flat_map(|(_, layer)| layer.iter())
+            .map(|id| report.per_balancer_peak_waiting[id.index()])
+            .max()
+            .expect("Nc is non-empty");
+        peaks.push(peak);
+    }
+    assert!(
+        peaks[1] <= peaks[0],
+        "peak Nc queue should not grow when t grows: {peaks:?}"
+    );
+}
+
+#[test]
+fn every_balancer_processes_as_many_tokens_as_its_stalls_require() {
+    // Internal consistency of the stall accounting: a balancer that
+    // processed T tokens can have caused at most T·(peak-1) stalls.
+    let net = counting_network(8, 16).expect("valid");
+    let report = measure_contention(&net, 32, 32 * 60, SchedulerKind::GreedyHotspot, 11);
+    for i in 0..net.num_balancers() {
+        let t = report.per_balancer_traversals[i];
+        let stalls = report.per_balancer_stalls[i];
+        let peak = report.per_balancer_peak_waiting[i];
+        assert!(peak >= 1, "every balancer saw at least one waiter");
+        assert!(
+            stalls <= t.saturating_mul(peak.saturating_sub(1)),
+            "balancer {i}: {stalls} stalls cannot arise from {t} traversals with peak queue {peak}"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Experiment E8: the sorting-network byproduct (Section 7).
+
+use counting_networks::baseline::bitonic_counting_network;
+use counting_networks::efficient::counting_network;
+use counting_networks::sorting::{
+    is_sorting_network_exhaustive, is_sorting_network_randomized, ComparatorNetwork,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn cww_yields_a_sorting_network_for_all_small_widths() {
+    for w in [2usize, 4, 8, 16] {
+        let net = counting_network(w, w).expect("valid");
+        let sorter = ComparatorNetwork::from_balancing(net).expect("C(w,w) is regular");
+        assert!(is_sorting_network_exhaustive(&sorter), "width {w}");
+        let k = w.trailing_zeros() as usize;
+        assert_eq!(sorter.depth(), (k * k + k) / 2);
+    }
+}
+
+#[test]
+fn derived_sorter_depth_matches_theorem_4_1() {
+    for w in [4usize, 8, 16, 32, 64, 128] {
+        let k = w.trailing_zeros() as usize;
+        let net = counting_network(w, w).expect("valid");
+        let sorter = ComparatorNetwork::from_balancing(net).expect("regular");
+        assert_eq!(sorter.depth(), (k * k + k) / 2);
+    }
+}
+
+#[test]
+fn sorts_arbitrary_data_with_duplicates() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let w = 32usize;
+    let net = counting_network(w, w).expect("valid");
+    let sorter = ComparatorNetwork::from_balancing(net).expect("regular");
+    for _ in 0..50 {
+        let data: Vec<u16> = (0..w).map(|_| rng.gen_range(0..10)).collect();
+        let out = sorter.apply(&data);
+        let mut expected = data.clone();
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(out, expected);
+    }
+}
+
+#[test]
+fn irregular_networks_cannot_be_turned_into_comparator_networks() {
+    let net = counting_network(8, 16).expect("valid");
+    assert!(ComparatorNetwork::from_balancing(net).is_err());
+}
+
+#[test]
+fn wide_randomized_verification() {
+    let mut rng = StdRng::seed_from_u64(78);
+    for w in [64usize, 128] {
+        let net = counting_network(w, w).expect("valid");
+        let sorter = ComparatorNetwork::from_balancing(net).expect("regular");
+        assert!(is_sorting_network_randomized(&sorter, 200, &mut rng), "width {w}");
+    }
+}
+
+#[test]
+fn derived_sorter_and_bitonic_sorter_agree_on_outputs() {
+    let mut rng = StdRng::seed_from_u64(79);
+    let w = 16usize;
+    let ours = ComparatorNetwork::from_balancing(counting_network(w, w).expect("valid"))
+        .expect("regular");
+    let bitonic =
+        ComparatorNetwork::from_balancing(bitonic_counting_network(w).expect("valid"))
+            .expect("regular");
+    for _ in 0..100 {
+        let data: Vec<u32> = (0..w).map(|_| rng.gen_range(0..1_000)).collect();
+        assert_eq!(ours.apply(&data), bitonic.apply(&data));
+    }
+}
