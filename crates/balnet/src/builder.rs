@@ -84,10 +84,7 @@ impl NetworkBuilder {
         assert!(input < self.input_width, "network input {input} out of range");
         assert!(balancer.0 < self.balancers.len(), "no balancer {}", balancer.0);
         assert!(port < self.balancers[balancer.0].0, "input port {port} out of range");
-        assert!(
-            self.input_targets[input].is_none(),
-            "network input {input} is already connected"
-        );
+        assert!(self.input_targets[input].is_none(), "network input {input} is already connected");
         self.input_targets[input] = Some(Port::Balancer { balancer: balancer.0, port });
     }
 
@@ -100,10 +97,7 @@ impl NetworkBuilder {
     pub fn connect_input_to_output(&mut self, input: usize, output: usize) {
         assert!(input < self.input_width, "network input {input} out of range");
         assert!(output < self.output_width, "network output {output} out of range");
-        assert!(
-            self.input_targets[input].is_none(),
-            "network input {input} is already connected"
-        );
+        assert!(self.input_targets[input].is_none(), "network input {input} is already connected");
         self.input_targets[input] = Some(Port::Output(output));
     }
 
@@ -183,10 +177,8 @@ impl NetworkBuilder {
         let mut input_port_seen: Vec<Vec<usize>> =
             self.balancers.iter().map(|(fi, _)| vec![0usize; *fi]).collect();
         let mut output_seen = vec![0usize; self.output_width];
-        let all_sources = inputs
-            .iter()
-            .copied()
-            .chain(balancers.iter().flat_map(|b| b.outputs.iter().copied()));
+        let all_sources =
+            inputs.iter().copied().chain(balancers.iter().flat_map(|b| b.outputs.iter().copied()));
         for port in all_sources {
             match port {
                 Port::Balancer { balancer, port } => {
@@ -313,10 +305,7 @@ mod tests {
         b.connect_input(1, bal, 1);
         b.connect_to_output(bal, 0, 0);
         b.connect_to_output(bal, 1, 0);
-        assert_eq!(
-            b.build().unwrap_err(),
-            BuildError::MultiplyConnectedNetworkOutput { wire: 0 }
-        );
+        assert_eq!(b.build().unwrap_err(), BuildError::MultiplyConnectedNetworkOutput { wire: 0 });
     }
 
     #[test]

@@ -72,7 +72,12 @@ pub fn to_dot(network: &Network, options: &DotOptions) -> String {
         for (layer_idx, layer) in network.layers().iter().enumerate() {
             let ids: Vec<String> = layer.iter().map(|id| format!("b{}", id.index())).collect();
             if !ids.is_empty() {
-                let _ = writeln!(out, "  {{ rank=same; /* layer {} */ {}; }}", layer_idx + 1, ids.join("; "));
+                let _ = writeln!(
+                    out,
+                    "  {{ rank=same; /* layer {} */ {}; }}",
+                    layer_idx + 1,
+                    ids.join("; ")
+                );
             }
         }
     }
@@ -124,10 +129,8 @@ mod tests {
     #[test]
     fn graph_name_is_sanitized() {
         let net = sample();
-        let dot = to_dot(
-            &net,
-            &DotOptions { name: "C(4, 8) figure".to_owned(), rank_by_layer: false },
-        );
+        let dot =
+            to_dot(&net, &DotOptions { name: "C(4, 8) figure".to_owned(), rank_by_layer: false });
         assert!(dot.starts_with("digraph C_4__8__figure {"));
         assert!(!dot.contains("rank=same"));
     }

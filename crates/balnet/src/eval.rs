@@ -32,11 +32,10 @@ pub fn quiescent_output(network: &Network, input: &[u64]) -> Vec<u64> {
     let mut balancer_in = vec![0u64; network.num_balancers()];
     let mut output = vec![0u64; network.output_width()];
 
-    let route = |port: &Port, amount: u64, balancer_in: &mut [u64], output: &mut [u64]| {
-        match *port {
-            Port::Balancer { balancer, .. } => balancer_in[balancer] += amount,
-            Port::Output(o) => output[o] += amount,
-        }
+    let route = |port: &Port, amount: u64, balancer_in: &mut [u64], output: &mut [u64]| match *port
+    {
+        Port::Balancer { balancer, .. } => balancer_in[balancer] += amount,
+        Port::Output(o) => output[o] += amount,
     };
 
     for (wire, &count) in input.iter().enumerate() {
@@ -96,8 +95,7 @@ impl<'a> TokenExecutor<'a> {
     /// Creates an executor with every balancer in its initial state.
     #[must_use]
     pub fn new(network: &'a Network) -> Self {
-        let states =
-            network.balancers().iter().map(|b| BalancerState::new(b.fan_out)).collect();
+        let states = network.balancers().iter().map(|b| BalancerState::new(b.fan_out)).collect();
         Self {
             network,
             states,
@@ -114,10 +112,7 @@ impl<'a> TokenExecutor<'a> {
     ///
     /// Panics if `input_wire` is out of range.
     pub fn inject(&mut self, input_wire: usize) -> (usize, u64) {
-        assert!(
-            input_wire < self.network.input_width(),
-            "input wire {input_wire} out of range"
-        );
+        assert!(input_wire < self.network.input_width(), "input wire {input_wire} out of range");
         let token = self.injected;
         self.injected += 1;
         self.input_counts[input_wire] += 1;

@@ -211,11 +211,8 @@ pub fn find_isomorphism(a: &Network, b: &Network) -> Option<NetworkMapping> {
     // Process balancers from the *last* layer to the first so that when we
     // try to match a balancer, all its successors are already matched and
     // its wire-destination constraints can be checked immediately.
-    let order_a: Vec<usize> = layers_a
-        .iter()
-        .rev()
-        .flat_map(|layer| layer.iter().map(|id| id.index()))
-        .collect();
+    let order_a: Vec<usize> =
+        layers_a.iter().rev().flat_map(|layer| layer.iter().map(|id| id.index())).collect();
 
     let mut mapping: Vec<Option<usize>> = vec![None; a.num_balancers()];
     let mut used_b: Vec<bool> = vec![false; b.num_balancers()];
@@ -282,9 +279,8 @@ pub fn find_isomorphism(a: &Network, b: &Network) -> Option<NetworkMapping> {
     }
 
     if backtrack(a, b, &order_a, 0, &layers_b, &mut mapping, &mut used_b) {
-        let mapping = NetworkMapping {
-            mapping: mapping.into_iter().map(|m| m.expect("complete")).collect(),
-        };
+        let mapping =
+            NetworkMapping { mapping: mapping.into_iter().map(|m| m.expect("complete")).collect() };
         if verify_isomorphism(a, b, &mapping) {
             return Some(mapping);
         }

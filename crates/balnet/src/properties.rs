@@ -78,8 +78,7 @@ pub fn counting_counterexample_randomized<R: Rng>(
 ) -> Option<Vec<u64>> {
     let w = network.input_width();
     for _ in 0..trials {
-        let input: Vec<u64> =
-            (0..w).map(|_| rng.gen_range(0..=max_tokens_per_wire)).collect();
+        let input: Vec<u64> = (0..w).map(|_| rng.gen_range(0..=max_tokens_per_wire)).collect();
         if !output_is_step(network, &input) {
             return Some(input);
         }
@@ -111,8 +110,7 @@ pub fn is_smoothing_network_randomized<R: Rng>(
 ) -> bool {
     let w = network.input_width();
     for _ in 0..trials {
-        let input: Vec<u64> =
-            (0..w).map(|_| rng.gen_range(0..=max_tokens_per_wire)).collect();
+        let input: Vec<u64> = (0..w).map(|_| rng.gen_range(0..=max_tokens_per_wire)).collect();
         if !output_is_k_smooth(network, &input, k) {
             return false;
         }
@@ -134,8 +132,7 @@ pub fn observed_smoothness<R: Rng>(
     let w = network.input_width();
     let mut worst = 0u64;
     for _ in 0..trials {
-        let input: Vec<u64> =
-            (0..w).map(|_| rng.gen_range(0..=max_tokens_per_wire)).collect();
+        let input: Vec<u64> = (0..w).map(|_| rng.gen_range(0..=max_tokens_per_wire)).collect();
         let out = quiescent_output(network, &input);
         if let (Some(max), Some(min)) = (out.iter().max(), out.iter().min()) {
             worst = worst.max(max - min);

@@ -70,9 +70,7 @@ pub fn step_point(seq: &[u64]) -> usize {
 #[must_use]
 pub fn step_sequence(total: u64, width: usize) -> Vec<u64> {
     assert!(width > 0, "width must be positive");
-    (0..width as u64)
-        .map(|i| div_ceil_sub(total, i, width as u64))
-        .collect()
+    (0..width as u64).map(|i| div_ceil_sub(total, i, width as u64)).collect()
 }
 
 /// The value on output wire `i` of a `(p, q)`-balancer that has processed

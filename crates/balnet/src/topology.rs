@@ -223,8 +223,8 @@ impl Network {
         }
         let inputs: Vec<Port> = self.inputs.iter().map(splice).collect();
 
-        let (depths, depth) =
-            compute_depths(self.input_width, &inputs, &balancers).expect("cascade of two acyclic networks is acyclic");
+        let (depths, depth) = compute_depths(self.input_width, &inputs, &balancers)
+            .expect("cascade of two acyclic networks is acyclic");
         Ok(Network {
             input_width: self.input_width,
             output_width: other.output_width,
@@ -260,8 +260,7 @@ pub(crate) fn compute_depths(
         *d = 1;
     }
     // Kahn's algorithm over balancer-to-balancer wires.
-    let mut queue: Vec<usize> =
-        (0..n).filter(|&i| pending_preds[i] == 0).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| pending_preds[i] == 0).collect();
     // Network inputs do not affect depth beyond the seed of 1.
     let _ = inputs;
     let mut visited = 0usize;
@@ -339,10 +338,7 @@ mod tests {
         builder.connect_to_output(bal, 0, 0);
         builder.connect_to_output(bal, 1, 1);
         let tree = builder.build().expect("valid");
-        assert!(matches!(
-            tree.cascade(&a).map(|_| ()),
-            Ok(())
-        ));
+        assert!(matches!(tree.cascade(&a).map(|_| ()), Ok(())));
         assert!(matches!(
             a.cascade(&tree),
             Err(BuildError::WidthMismatch { upstream_outputs: 2, downstream_inputs: 1 })

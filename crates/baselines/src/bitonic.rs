@@ -131,8 +131,8 @@ pub fn bitonic_counting_network(w: usize) -> Result<Network, BuildError> {
 mod tests {
     use super::*;
     use balnet::{
-        is_counting_network_exhaustive, is_counting_network_randomized, is_step,
-        quiescent_output, step_sequence,
+        is_counting_network_exhaustive, is_counting_network_randomized, is_step, quiescent_output,
+        step_sequence,
     };
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -189,10 +189,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         for w in [8usize, 16, 32] {
             let net = bitonic_counting_network(w).expect("valid");
-            assert!(
-                is_counting_network_randomized(&net, 150, 64, &mut rng),
-                "Bitonic[{w}]"
-            );
+            assert!(is_counting_network_randomized(&net, 150, 64, &mut rng), "Bitonic[{w}]");
         }
     }
 

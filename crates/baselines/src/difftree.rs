@@ -111,8 +111,7 @@ mod tests {
     fn counter_values_are_a_prefix_of_naturals() {
         let net = diffracting_tree(8).expect("valid");
         let out = quiescent_output(&net, &[13]);
-        let mut values: Vec<u64> =
-            assign_counter_values(&out).into_iter().flatten().collect();
+        let mut values: Vec<u64> = assign_counter_values(&out).into_iter().flatten().collect();
         values.sort_unstable();
         assert_eq!(values, (0..13).collect::<Vec<_>>());
     }

@@ -152,10 +152,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         for w in [8usize, 16, 32] {
             let net = periodic_counting_network(w).expect("valid");
-            assert!(
-                is_counting_network_randomized(&net, 120, 64, &mut rng),
-                "Periodic[{w}]"
-            );
+            assert!(is_counting_network_randomized(&net, 120, 64, &mut rng), "Periodic[{w}]");
         }
     }
 

@@ -10,8 +10,8 @@ use std::time::Duration;
 use balnet::{quiescent_output, step_sequence};
 use baselines::bitonic_merger;
 use counting::merging_network;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use counting_sim::{measure_contention, SchedulerKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_merger_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("merger-ablation");

@@ -17,12 +17,16 @@ fn bench_throughput(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("fetch_increment-{threads}thr"));
         group.throughput(Throughput::Elements(ops_per_thread * threads as u64));
         for named in &suite {
-            group.bench_with_input(BenchmarkId::new(&named.name, threads), &threads, |b, &threads| {
-                b.iter(|| {
-                    let counter = NetworkCounter::new(named.name.clone(), &named.network);
-                    measure_throughput(&counter, threads, ops_per_thread)
-                });
-            });
+            group.bench_with_input(
+                BenchmarkId::new(&named.name, threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let counter = NetworkCounter::new(named.name.clone(), &named.network);
+                        measure_throughput(&counter, threads, ops_per_thread)
+                    });
+                },
+            );
         }
         group.bench_with_input(BenchmarkId::new("central", threads), &threads, |b, &threads| {
             b.iter(|| measure_throughput(&CentralCounter::new(), threads, ops_per_thread));

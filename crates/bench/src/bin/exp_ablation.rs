@@ -10,8 +10,7 @@
 
 use bench::Table;
 use counting::{
-    counting_depth, counting_network, counting_network_bitonic_merger,
-    counting_network_no_ladder,
+    counting_depth, counting_network, counting_network_bitonic_merger, counting_network_no_ladder,
 };
 use counting_sim::{measure_contention, SchedulerKind};
 use rand::rngs::StdRng;
@@ -62,7 +61,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     for (w, t) in [(8usize, 8usize), (8, 16), (16, 16)] {
         let variant = counting_network_no_ladder(w, t).expect("builds");
-        let cex = balnet::properties::counting_counterexample_randomized(&variant, 500, 16, &mut rng);
+        let cex =
+            balnet::properties::counting_counterexample_randomized(&variant, 500, 16, &mut rng);
         table.push_row(vec![
             w.to_string(),
             t.to_string(),

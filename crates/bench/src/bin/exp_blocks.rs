@@ -19,7 +19,12 @@ fn main() {
 
     println!("## E6 — per-block amortized contention of C({w}, t), n = {n}, round-robin\n");
     let mut table = Table::new(vec![
-        "t", "depth", "Na stalls/token", "Nb stalls/token", "Nc stalls/token", "total",
+        "t",
+        "depth",
+        "Na stalls/token",
+        "Nb stalls/token",
+        "Nc stalls/token",
+        "total",
     ]);
     for p in [1usize, 2, 4, 8, 16] {
         let t = w * p;

@@ -13,9 +13,7 @@
 //! Run with: `cargo run --release -p bench --bin exp_contention`
 
 use bench::{comparison_suite, Table};
-use counting::{
-    bitonic_contention_estimate, cwt_contention_bound, periodic_contention_estimate,
-};
+use counting::{bitonic_contention_estimate, cwt_contention_bound, periodic_contention_estimate};
 use counting_sim::{measure_contention, SchedulerKind};
 
 fn main() {
@@ -58,10 +56,7 @@ fn main() {
     type BoundFn = Box<dyn Fn(usize) -> f64>;
     let bounds: Vec<(String, BoundFn)> = vec![
         (format!("Thm 6.7, t={w}"), Box::new(move |n| cwt_contention_bound(n, w, w))),
-        (
-            format!("Thm 6.7, t={}", w * lgw),
-            Box::new(move |n| cwt_contention_bound(n, w, w * lgw)),
-        ),
+        (format!("Thm 6.7, t={}", w * lgw), Box::new(move |n| cwt_contention_bound(n, w, w * lgw))),
         ("bitonic Θ(n·lg²w/w)".to_owned(), Box::new(move |n| bitonic_contention_estimate(n, w))),
         ("periodic O(n·lg³w/w)".to_owned(), Box::new(move |n| periodic_contention_estimate(n, w))),
         ("diffracting tree Θ(n)".to_owned(), Box::new(|n| n as f64)),

@@ -6,11 +6,10 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_depth`
 
-use bench::Table;
 use baselines::{bitonic_counting_network, diffracting_tree, periodic_counting_network};
+use bench::Table;
 use counting::{
-    bitonic_depth, counting_depth, counting_network, merger_depth, merging_network,
-    periodic_depth,
+    bitonic_depth, counting_depth, counting_network, merger_depth, merging_network, periodic_depth,
 };
 
 fn main() {
@@ -57,7 +56,9 @@ fn main() {
 
     println!("## E2c — merging network depth lg δ, independent of t (Lemma 3.1)\n");
     let mut t3 = Table::new(vec!["t", "δ", "depth(M(t,δ))", "lg δ", "balancers"]);
-    for &(t, d) in &[(8usize, 2usize), (8, 4), (16, 4), (16, 8), (32, 8), (64, 16), (64, 32), (128, 16)] {
+    for &(t, d) in
+        &[(8usize, 2usize), (8, 4), (16, 4), (16, 8), (32, 8), (64, 16), (64, 32), (128, 16)]
+    {
         let m = merging_network(t, d).expect("valid");
         t3.push_row(vec![
             t.to_string(),

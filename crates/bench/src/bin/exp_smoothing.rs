@@ -22,27 +22,18 @@ fn main() {
     for k in 1..=7usize {
         let w = 1 << k;
         let d = forward_butterfly(w).expect("valid");
-        let observed =
-            balnet::properties::observed_smoothness(&d, trials, max_tokens, &mut rng);
+        let observed = balnet::properties::observed_smoothness(&d, trials, max_tokens, &mut rng);
         t1.push_row(vec![w.to_string(), observed.to_string(), k.to_string()]);
     }
     println!("{}", t1.to_markdown());
 
     println!("## E4b — prefix C'(w, t) smoothing (Lemma 6.6): observed spread vs ⌊w·lgw/t⌋+2\n");
     let mut t2 = Table::new(vec!["w", "t", "observed spread", "bound s"]);
-    for &(w, t) in &[
-        (8usize, 8usize),
-        (8, 16),
-        (8, 24),
-        (16, 16),
-        (16, 32),
-        (16, 64),
-        (32, 32),
-        (32, 160),
-    ] {
+    for &(w, t) in
+        &[(8usize, 8usize), (8, 16), (8, 24), (16, 16), (16, 32), (16, 64), (32, 32), (32, 160)]
+    {
         let net = counting_prefix(w, t).expect("valid");
-        let observed =
-            balnet::properties::observed_smoothness(&net, trials, max_tokens, &mut rng);
+        let observed = balnet::properties::observed_smoothness(&net, trials, max_tokens, &mut rng);
         t2.push_row(vec![
             w.to_string(),
             t.to_string(),

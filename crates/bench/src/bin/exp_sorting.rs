@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_sorting`
 
-use bench::Table;
 use baselines::{bitonic_counting_network, periodic_counting_network};
+use bench::Table;
 use counting::counting_network;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

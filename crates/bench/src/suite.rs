@@ -58,8 +58,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "power of two")]
-    fn rejects_bad_width()
-    {
+    fn rejects_bad_width() {
         let _ = comparison_suite(6);
     }
 }

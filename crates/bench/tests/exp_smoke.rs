@@ -1,0 +1,67 @@
+//! Smoke tests for the experiment binaries: run each `exp_*` with the
+//! `--quick` parameter set (tiny token counts) and check it exits
+//! successfully and prints at least one Markdown table. This keeps the
+//! bench bins from silently rotting — they are compiled and executed on
+//! every `cargo test` run.
+
+use std::process::Command;
+
+fn run_quick(exe: &str, args: &[&str]) -> String {
+    let output = Command::new(exe).args(args).output().expect("binary should spawn");
+    assert!(
+        output.status.success(),
+        "{exe} exited with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("experiment output is UTF-8")
+}
+
+fn assert_prints_markdown_table(exe: &str, args: &[&str]) {
+    let stdout = run_quick(exe, args);
+    assert!(
+        stdout.lines().any(|l| l.starts_with("| ")),
+        "{exe} printed no Markdown table:\n{stdout}"
+    );
+    assert!(
+        stdout.lines().any(|l| l.starts_with("## ")),
+        "{exe} printed no section heading:\n{stdout}"
+    );
+}
+
+#[test]
+fn exp_depth_prints_tables() {
+    // exp_depth is all closed-form construction; it has no --quick knob
+    // and is already fast.
+    assert_prints_markdown_table(env!("CARGO_BIN_EXE_exp_depth"), &[]);
+}
+
+#[test]
+fn exp_contention_quick_prints_tables() {
+    assert_prints_markdown_table(env!("CARGO_BIN_EXE_exp_contention"), &["--quick"]);
+}
+
+#[test]
+fn exp_blocks_quick_prints_tables() {
+    assert_prints_markdown_table(env!("CARGO_BIN_EXE_exp_blocks"), &["--quick"]);
+}
+
+#[test]
+fn exp_smoothing_quick_prints_tables() {
+    assert_prints_markdown_table(env!("CARGO_BIN_EXE_exp_smoothing"), &["--quick"]);
+}
+
+#[test]
+fn exp_sorting_quick_prints_tables() {
+    assert_prints_markdown_table(env!("CARGO_BIN_EXE_exp_sorting"), &["--quick"]);
+}
+
+#[test]
+fn exp_ablation_quick_prints_tables() {
+    assert_prints_markdown_table(env!("CARGO_BIN_EXE_exp_ablation"), &["--quick"]);
+}
+
+#[test]
+fn exp_throughput_quick_prints_tables() {
+    assert_prints_markdown_table(env!("CARGO_BIN_EXE_exp_throughput"), &["--quick"]);
+}

@@ -88,14 +88,8 @@ mod tests {
     #[test]
     fn contention_grows_with_concurrency() {
         let net = counting_network(8, 8).expect("valid");
-        let points = sweep_concurrency(
-            "C(8,8)",
-            &net,
-            &[1, 8, 32],
-            40,
-            SchedulerKind::RoundRobin,
-            1,
-        );
+        let points =
+            sweep_concurrency("C(8,8)", &net, &[1, 8, 32], 40, SchedulerKind::RoundRobin, 1);
         assert_eq!(points.len(), 3);
         assert!(points[0].amortized_contention <= points[1].amortized_contention);
         assert!(points[1].amortized_contention < points[2].amortized_contention);
@@ -133,8 +127,7 @@ mod tests {
     #[test]
     fn points_serialize() {
         let net = counting_network(4, 4).expect("valid");
-        let points =
-            sweep_concurrency("C(4,4)", &net, &[4], 10, SchedulerKind::Random, 7);
+        let points = sweep_concurrency("C(4,4)", &net, &[4], 10, SchedulerKind::Random, 7);
         let json = serde_json::to_string(&points).expect("serialize");
         assert!(json.contains("C(4,4)"));
     }

@@ -85,11 +85,7 @@ impl ContentionReport {
     /// exists. Returns `(balancer_id, stalls)`.
     #[must_use]
     pub fn hottest_balancer(&self) -> Option<(usize, u64)> {
-        self.per_balancer_stalls
-            .iter()
-            .copied()
-            .enumerate()
-            .max_by_key(|&(_, s)| s)
+        self.per_balancer_stalls.iter().copied().enumerate().max_by_key(|&(_, s)| s)
     }
 }
 

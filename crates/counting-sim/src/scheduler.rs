@@ -216,7 +216,8 @@ mod tests {
 
     #[test]
     fn kind_builds_and_names() {
-        for kind in [SchedulerKind::RoundRobin, SchedulerKind::Random, SchedulerKind::GreedyHotspot] {
+        for kind in [SchedulerKind::RoundRobin, SchedulerKind::Random, SchedulerKind::GreedyHotspot]
+        {
             let _ = kind.build(0);
             assert!(!kind.name().is_empty());
         }

@@ -183,10 +183,7 @@ impl<'a> Simulation<'a> {
         if self.pending.is_empty() {
             return false;
         }
-        let view = PendingView {
-            waiting_at: &self.waiting_at,
-            pending_processes: &self.pending,
-        };
+        let view = PendingView { waiting_at: &self.waiting_at, pending_processes: &self.pending };
         let proc = scheduler.select(&view);
         self.event_clock += 1;
         let TokenPos::AtBalancer(balancer) = self.positions[proc] else {
@@ -364,10 +361,8 @@ mod tests {
         let m = 320u64;
         let report = Simulation::new(&net, SimConfig { concurrency: 8, total_tokens: m })
             .run(&mut RoundRobin::new());
-        let first_layer_traversals: u64 = net.layers()[0]
-            .iter()
-            .map(|id| report.per_balancer_traversals[id.index()])
-            .sum();
+        let first_layer_traversals: u64 =
+            net.layers()[0].iter().map(|id| report.per_balancer_traversals[id.index()]).sum();
         assert_eq!(first_layer_traversals, m);
     }
 

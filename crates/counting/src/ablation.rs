@@ -174,10 +174,7 @@ mod tests {
         let w = 8usize;
         let without = counting_network_no_ladder(w, w).expect("builds fine, counts wrong");
         let cex = counting_counterexample_exhaustive(&without, 2);
-        assert!(
-            cex.is_some(),
-            "without the ladder some input must break the step property"
-        );
+        assert!(cex.is_some(), "without the ladder some input must break the step property");
         let with_ladder = counting_network(w, w).expect("valid");
         assert!(output_is_step(&with_ladder, &cex.expect("just checked")));
         // A randomized search over a larger instance finds counterexamples

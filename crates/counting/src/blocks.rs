@@ -40,10 +40,7 @@ pub enum BlockKind {
 pub fn block_of_layer(w: usize, layer: usize) -> BlockKind {
     let lgw = lg(w) as usize;
     let depth = counting_depth(w);
-    assert!(
-        layer >= 1 && layer <= depth,
-        "layer {layer} out of range 1..={depth} for C({w}, ·)"
-    );
+    assert!(layer >= 1 && layer <= depth, "layer {layer} out of range 1..={depth} for C({w}, ·)");
     if layer < lgw {
         BlockKind::A
     } else if layer == lgw {

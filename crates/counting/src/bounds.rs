@@ -95,10 +95,7 @@ mod tests {
 
     #[test]
     fn bounds_are_monotone_in_n() {
-        for &f in &[
-            cwt_contention_bound(100, 16, 16),
-            cwt_contention_bound(1000, 16, 16),
-        ] {
+        for &f in &[cwt_contention_bound(100, 16, 16), cwt_contention_bound(1000, 16, 16)] {
             assert!(f.is_finite() && f > 0.0);
         }
         assert!(cwt_contention_bound(1000, 16, 16) > cwt_contention_bound(100, 16, 16));

@@ -146,10 +146,7 @@ mod tests {
         for w in [2usize, 4, 8] {
             let d = forward_butterfly(w).expect("valid");
             let e = backward_butterfly(w).expect("valid");
-            assert!(
-                find_isomorphism(&d, &e).is_some(),
-                "D({w}) and E({w}) should be isomorphic"
-            );
+            assert!(find_isomorphism(&d, &e).is_some(), "D({w}) and E({w}) should be isomorphic");
         }
     }
 

@@ -80,9 +80,7 @@ pub fn counting_width_feasible(
 /// given balancer set.
 #[must_use]
 pub fn feasible_output_widths(balancer_output_widths: &[usize], limit: usize) -> Vec<usize> {
-    (1..=limit)
-        .filter(|&w| counting_width_feasible(w, balancer_output_widths).is_ok())
-        .collect()
+    (1..=limit).filter(|&w| counting_width_feasible(w, balancer_output_widths).is_ok()).collect()
 }
 
 /// Cross-check helper: the set of distinct balancer output widths actually
@@ -90,8 +88,7 @@ pub fn feasible_output_widths(balancer_output_widths: &[usize], limit: usize) ->
 /// [`counting_width_feasible`].
 #[must_use]
 pub fn balancer_output_widths(network: &Network) -> Vec<usize> {
-    let mut widths: Vec<usize> =
-        network.balancers().iter().map(|b| b.fan_out).collect();
+    let mut widths: Vec<usize> = network.balancers().iter().map(|b| b.fan_out).collect();
     widths.sort_unstable();
     widths.dedup();
     widths

@@ -92,14 +92,8 @@ mod tests {
             let node = net.balancer(BalancerId(i));
             assert_eq!(node.outputs[0], balnet::Port::Output(i));
             assert_eq!(node.outputs[1], balnet::Port::Output(i + 4));
-            assert_eq!(
-                net.inputs()[i],
-                balnet::Port::Balancer { balancer: i, port: 0 }
-            );
-            assert_eq!(
-                net.inputs()[i + 4],
-                balnet::Port::Balancer { balancer: i, port: 1 }
-            );
+            assert_eq!(net.inputs()[i], balnet::Port::Balancer { balancer: i, port: 0 });
+            assert_eq!(net.inputs()[i + 4], balnet::Port::Balancer { balancer: i, port: 1 });
         }
     }
 

@@ -109,10 +109,7 @@ mod tests {
             let mut input = step_sequence(sum_x, t / 2);
             input.extend(step_sequence(sum_y, t / 2));
             let out = quiescent_output(&net, &input);
-            assert!(
-                is_step(&out),
-                "M({t},{delta}) failed on Σx={sum_x} Σy={sum_y}: {out:?}"
-            );
+            assert!(is_step(&out), "M({t},{delta}) failed on Σx={sum_x} Σy={sum_y}: {out:?}");
             assert_eq!(out.iter().sum::<u64>(), sum_x + sum_y);
         }
     }

@@ -133,7 +133,9 @@ mod tests {
 
     #[test]
     fn depth_matches_theorem_4_1() {
-        for (w, t) in [(2, 2), (4, 4), (4, 8), (8, 8), (8, 16), (8, 24), (16, 16), (16, 64), (32, 32)] {
+        for (w, t) in
+            [(2, 2), (4, 4), (4, 8), (8, 8), (8, 16), (8, 24), (16, 16), (16, 64), (32, 32)]
+        {
             let net = counting_network(w, t).expect("valid");
             assert_eq!(
                 net.depth(),
@@ -186,7 +188,8 @@ mod tests {
     #[test]
     fn larger_networks_count_randomized() {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
-        for (w, t) in [(8, 8), (8, 16), (8, 24), (16, 16), (16, 32), (16, 64), (32, 32), (32, 160)] {
+        for (w, t) in [(8, 8), (8, 16), (8, 24), (16, 16), (16, 32), (16, 64), (32, 32), (32, 160)]
+        {
             let net = counting_network(w, t).expect("valid");
             assert!(
                 is_counting_network_randomized(&net, 120, 64, &mut rng),
@@ -208,8 +211,7 @@ mod tests {
         let out = quiescent_output(&net, &[4, 2, 3, 4]);
         assert_eq!(out, vec![2, 2, 2, 2, 2, 1, 1, 1]);
         // The counter values 0..12 are handed out exactly once.
-        let mut values: Vec<u64> =
-            assign_counter_values(&out).into_iter().flatten().collect();
+        let mut values: Vec<u64> = assign_counter_values(&out).into_iter().flatten().collect();
         values.sort_unstable();
         assert_eq!(values, (0..13).collect::<Vec<_>>());
     }

@@ -68,7 +68,10 @@ impl ComparatorNetwork {
             vec![[None, None]; self.network.num_balancers()];
         let mut outputs: Vec<Option<T>> = vec![None; self.network.output_width()];
 
-        let deliver = |port: Port, value: T, balancer_inputs: &mut Vec<[Option<T>; 2]>, outputs: &mut Vec<Option<T>>| match port {
+        let deliver = |port: Port,
+                       value: T,
+                       balancer_inputs: &mut Vec<[Option<T>; 2]>,
+                       outputs: &mut Vec<Option<T>>| match port {
             Port::Balancer { balancer, port } => {
                 debug_assert!(balancer_inputs[balancer][port].is_none());
                 balancer_inputs[balancer][port] = Some(value);

@@ -106,8 +106,7 @@ fn load_balancing_demo(threads: usize, items: u64) {
         }
     });
 
-    let exactly_once =
-        processed.iter().all(|c| c.load(Ordering::Relaxed) == 1);
+    let exactly_once = processed.iter().all(|c| c.load(Ordering::Relaxed) == 1);
     let counts = per_thread_counts.into_inner().expect("not poisoned");
     println!("load balancing: {items} items over {threads} workers");
     println!("  every item processed exactly once : {exactly_once}");

@@ -60,10 +60,7 @@ fn main() {
     type BoundFn = Box<dyn Fn(usize) -> f64>;
     let bounds: Vec<(String, BoundFn)> = vec![
         (format!("Thm6.7 t={w}"), Box::new(move |n| cwt_contention_bound(n, w, w))),
-        (
-            format!("Thm6.7 t={}", w * lgw),
-            Box::new(move |n| cwt_contention_bound(n, w, w * lgw)),
-        ),
+        (format!("Thm6.7 t={}", w * lgw), Box::new(move |n| cwt_contention_bound(n, w, w * lgw))),
         ("bitonic est".into(), Box::new(move |n| bitonic_contention_estimate(n, w))),
         ("periodic est".into(), Box::new(move |n| periodic_contention_estimate(n, w))),
     ];

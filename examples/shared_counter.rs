@@ -73,7 +73,10 @@ fn main() {
         // Uniqueness is checked on a fresh, smaller run so the printed
         // throughput is not polluted by the bookkeeping.
         let ok = match counter.describe().as_str() {
-            name if name.starts_with("C(") || name.starts_with("Bitonic") || name.starts_with("Periodic") => {
+            name if name.starts_with("C(")
+                || name.starts_with("Bitonic")
+                || name.starts_with("Periodic") =>
+            {
                 let net = &networks.iter().find(|(n, _)| n == name).expect("known").1;
                 verify_uniqueness(&NetworkCounter::new(name.to_owned(), net), threads, 2_000)
             }

@@ -58,8 +58,10 @@ fn feasibility_analysis_matches_the_constructible_widths() {
     }
     for w in [6usize, 10, 12] {
         assert!(counting_network(w, w).is_err());
-        assert!(counting_width_feasible(w, &[2]).is_err() || w == 12,
-            "width {w} with only binary balancers");
+        assert!(
+            counting_width_feasible(w, &[2]).is_err() || w == 12,
+            "width {w} with only binary balancers"
+        );
     }
     // Width 12 = 2²·3 is infeasible with binary balancers but becomes
     // feasible once a width divisible by 3 is available.

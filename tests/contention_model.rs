@@ -95,10 +95,10 @@ fn diffracting_tree_contention_grows_linearly_with_n() {
     }
     // Linear shape: quadrupling n should multiply contention by roughly 4
     // (allow a wide margin for the heuristic scheduler).
-    let c64 = measure_contention(&tree, 64, 64 * 30, SchedulerKind::RoundRobin, 6)
-        .amortized_contention;
-    let c256 = measure_contention(&tree, 256, 256 * 30, SchedulerKind::RoundRobin, 6)
-        .amortized_contention;
+    let c64 =
+        measure_contention(&tree, 64, 64 * 30, SchedulerKind::RoundRobin, 6).amortized_contention;
+    let c256 =
+        measure_contention(&tree, 256, 256 * 30, SchedulerKind::RoundRobin, 6).amortized_contention;
     assert!(c256 / c64 > 2.0, "tree contention should scale ~linearly in n");
 }
 

@@ -19,8 +19,7 @@ fn quiescent_counter_values_form_the_exact_range() {
         let input: Vec<u64> = (0..w as u64).map(|i| 3 * i + 1).collect();
         let m: u64 = input.iter().sum();
         let out = quiescent_output(&net, &input);
-        let mut values: Vec<u64> =
-            assign_counter_values(&out).into_iter().flatten().collect();
+        let mut values: Vec<u64> = assign_counter_values(&out).into_iter().flatten().collect();
         values.sort_unstable();
         assert_eq!(values, (0..m).collect::<Vec<_>>(), "C({w},{t})");
     }
@@ -36,7 +35,9 @@ fn simulated_runs_hand_out_the_exact_range_for_every_network() {
         ("DiffTree[8]".to_owned(), diffracting_tree(8).expect("valid")),
     ];
     for (name, net) in &nets {
-        for scheduler in [SchedulerKind::RoundRobin, SchedulerKind::Random, SchedulerKind::GreedyHotspot] {
+        for scheduler in
+            [SchedulerKind::RoundRobin, SchedulerKind::Random, SchedulerKind::GreedyHotspot]
+        {
             let report = measure_contention(net, 12, 360, scheduler, 3);
             assert!(
                 report.fetch_increment.is_exact_range,

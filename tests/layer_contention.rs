@@ -63,10 +63,7 @@ fn peak_queues_in_nc_shrink_as_t_grows() {
             .expect("Nc is non-empty");
         peaks.push(peak);
     }
-    assert!(
-        peaks[1] <= peaks[0],
-        "peak Nc queue should not grow when t grows: {peaks:?}"
-    );
+    assert!(peaks[1] <= peaks[0], "peak Nc queue should not grow when t grows: {peaks:?}");
 }
 
 #[test]

@@ -28,7 +28,8 @@ fn butterflies_are_lgw_smoothing() {
 #[test]
 fn prefix_smoothness_obeys_lemma_6_6() {
     let mut rng = StdRng::seed_from_u64(42);
-    for (w, t) in [(4usize, 4usize), (4, 8), (8, 8), (8, 16), (8, 24), (16, 16), (16, 64), (32, 32)] {
+    for (w, t) in [(4usize, 4usize), (4, 8), (8, 8), (8, 16), (8, 24), (16, 16), (16, 64), (32, 32)]
+    {
         let lgw = w.trailing_zeros() as usize;
         let s = (w * lgw / t) as u64 + 2;
         let net = counting_prefix(w, t).expect("valid");

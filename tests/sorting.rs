@@ -64,11 +64,10 @@ fn wide_randomized_verification() {
 fn derived_sorter_and_bitonic_sorter_agree_on_outputs() {
     let mut rng = StdRng::seed_from_u64(79);
     let w = 16usize;
-    let ours = ComparatorNetwork::from_balancing(counting_network(w, w).expect("valid"))
+    let ours =
+        ComparatorNetwork::from_balancing(counting_network(w, w).expect("valid")).expect("regular");
+    let bitonic = ComparatorNetwork::from_balancing(bitonic_counting_network(w).expect("valid"))
         .expect("regular");
-    let bitonic =
-        ComparatorNetwork::from_balancing(bitonic_counting_network(w).expect("valid"))
-            .expect("regular");
     for _ in 0..100 {
         let data: Vec<u32> = (0..w).map(|_| rng.gen_range(0..1_000)).collect();
         assert_eq!(ours.apply(&data), bitonic.apply(&data));

@@ -1,0 +1,75 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! The workspace only uses [`utils::CachePadded`]; everything else is
+//! intentionally absent.
+
+/// Miscellaneous utilities (subset).
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line, preventing
+    /// false sharing between adjacent atomics.
+    ///
+    /// 128-byte alignment covers the spatial-prefetcher pairs on x86_64
+    /// and the 128-byte lines on recent aarch64 parts.
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    unsafe impl<T: Send> Send for CachePadded<T> {}
+    unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+    impl<T> CachePadded<T> {
+        /// Pads `value` to a cache line.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded").field("value", &self.value).finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn aligned_to_128() {
+            let padded = CachePadded::new(1u64);
+            assert_eq!(std::mem::align_of_val(&padded), 128);
+            assert_eq!(*padded, 1);
+            assert_eq!(padded.into_inner(), 1);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports the two shapes this workspace
+//! serializes: structs with named fields and enums with unit variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct name + named fields.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variants.
+    Enum(String, Vec<String>),
+}
+
+/// Parses the derive input far enough to learn the item's name and its
+/// field/variant names. Attributes (including doc comments) are skipped.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    let mut is_enum = false;
+    let mut name = None;
+
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute body `[...]`.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let text = id.to_string();
+                if text == "struct" || text == "enum" {
+                    is_enum = text == "enum";
+                    if let Some(TokenTree::Ident(n)) = tokens.next() {
+                        name = Some(n.to_string());
+                    }
+                    break;
+                }
+                // `pub`, `pub(crate)` etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde stub derive: could not find item name");
+
+    // The body is the last brace-delimited group.
+    let body = tokens
+        .filter_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g),
+            _ => None,
+        })
+        .last()
+        .unwrap_or_else(|| {
+            panic!("serde stub derive: `{name}` has no braced body (tuple structs unsupported)")
+        });
+
+    let mut names = Vec::new();
+    let mut body_tokens = body.stream().into_iter().peekable();
+    // Per item: skip attributes and visibility, take the first ident as
+    // the field/variant name, then skip to the next top-level comma
+    // (commas inside `<...>` generics are not top-level).
+    loop {
+        // Skip attributes.
+        while matches!(body_tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            body_tokens.next();
+            body_tokens.next();
+        }
+        // Skip visibility.
+        while matches!(body_tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            body_tokens.next();
+            if matches!(
+                body_tokens.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                body_tokens.next();
+            }
+        }
+        match body_tokens.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(other) => {
+                panic!("serde stub derive: unexpected token `{other}` in body of `{name}`")
+            }
+            None => break,
+        }
+        // Skip to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match body_tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    body_tokens.next();
+                    match c {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth -= 1,
+                        ',' if angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                Some(_) => {
+                    body_tokens.next();
+                }
+            }
+        }
+    }
+
+    if is_enum {
+        Shape::Enum(name, names)
+    } else {
+        Shape::Struct(name, names)
+    }
+}
+
+/// Derives `serde::Serialize` (stub) for named-field structs and
+/// unit-variant enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let source = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    source.parse().expect("serde stub derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (stub) for named-field structs and
+/// unit-variant enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let source = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\n\
+                             value.get(\"{f}\").unwrap_or(&::serde::Value::Null),\n\
+                         ).map_err(|_| ::serde::Error::custom(\n\
+                             concat!(\"invalid field `\", \"{f}\", \"` of {name}\")))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if value.as_object().is_none() {{\n\
+                             return Err(::serde::Error::custom(\"expected object for {name}\"));\n\
+                         }}\n\
+                         Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String =
+                variants.iter().map(|v| format!("\"{v}\" => Ok({name}::{v}),")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown {name} variant {{other}}\"))),\n\
+                             }},\n\
+                             _ => Err(::serde::Error::custom(\"expected string for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    source.parse().expect("serde stub derive: generated invalid Deserialize impl")
+}
