@@ -1,0 +1,60 @@
+//! Criterion bench for the batched Fetch&Increment fast path: one
+//! `next_batch(k)` traversal reserves a stride of `k` values, so the
+//! per-value cost of a network counter should drop roughly by the batch
+//! factor, while the centralized baseline gains little (it was already a
+//! single `fetch_add`).
+
+use std::time::Duration;
+
+use counting::counting_network;
+use counting_runtime::{
+    measure_batched_throughput, measure_throughput, CentralCounter, NetworkCounter,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_batch_fetch(c: &mut Criterion) {
+    let w = 16usize;
+    let net = counting_network(w, w).expect("valid");
+    let threads = 4usize;
+    let values_per_thread = 8_192u64;
+
+    for k in [1usize, 8, 64] {
+        let mut group = c.benchmark_group(format!("next_batch-k{k}"));
+        group.throughput(Throughput::Elements(values_per_thread * threads as u64));
+        group.bench_with_input(BenchmarkId::new("C(16,16)", k), &k, |b, &k| {
+            b.iter(|| {
+                let counter = NetworkCounter::new("C(16,16)", &net);
+                if k == 1 {
+                    measure_throughput(&counter, threads, values_per_thread)
+                } else {
+                    measure_batched_throughput(&counter, threads, values_per_thread / k as u64, k)
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("central", k), &k, |b, &k| {
+            b.iter(|| {
+                let counter = CentralCounter::new();
+                if k == 1 {
+                    measure_throughput(&counter, threads, values_per_thread)
+                } else {
+                    measure_batched_throughput(&counter, threads, values_per_thread / k as u64, k)
+                }
+            });
+        });
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_batch_fetch
+}
+criterion_main!(benches);

@@ -65,3 +65,48 @@ fn exp_ablation_quick_prints_tables() {
 fn exp_throughput_quick_prints_tables() {
     assert_prints_markdown_table(env!("CARGO_BIN_EXE_exp_throughput"), &["--quick"]);
 }
+
+/// Asserts that every report in the serialized array has `field` equal to
+/// zero: the number of `"field":0` occurrences must equal the number of
+/// `"field":` occurrences (values are plain non-negative integers, so a
+/// non-zero value never starts with the digit 0).
+fn assert_every_report_has_zero(json: &str, field: &str) {
+    let total = json.matches(&format!("\"{field}\":")).count();
+    let zeros = json.matches(&format!("\"{field}\":0")).count();
+    assert!(total > 0, "no `{field}` fields found in JSON:\n{json}");
+    assert_eq!(zeros, total, "{} report(s) have non-zero `{field}`:\n{json}", total - zeros);
+}
+
+#[test]
+fn exp_stress_quick_prints_tables_and_json() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_stress"), &["--quick"]);
+    assert!(stdout.lines().any(|l| l.starts_with("| ")), "no Markdown table:\n{stdout}");
+    assert!(stdout.lines().any(|l| l.starts_with("## ")), "no section heading:\n{stdout}");
+    // Without --json, the reports are printed as a JSON array on stdout.
+    // Every report — including the recorded E13b runs that never reach a
+    // rate table cell — must satisfy the counting contract.
+    let json_line = stdout.lines().find(|l| l.starts_with('[')).expect("no JSON array printed");
+    for field in ["duplicates", "missing", "out_of_range"] {
+        assert_every_report_has_zero(json_line, field);
+    }
+    // No table cell may report a broken invariant (the notes paragraph
+    // legitimately mentions the marker).
+    assert!(
+        !stdout.lines().any(|l| l.starts_with("| ") && l.contains("BROKEN")),
+        "stress matrix reported a violation:\n{stdout}"
+    );
+}
+
+#[test]
+fn exp_stress_quick_writes_json_file() {
+    // Unique per-process path: concurrent test-suite runs on one machine
+    // must not race on a shared temp file.
+    let path = std::env::temp_dir().join(format!("exp_stress_smoke_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_stress"), &["--quick", "--json", path_str]);
+    assert!(stdout.contains("JSON written to"), "missing file notice:\n{stdout}");
+    let json = std::fs::read_to_string(&path).expect("JSON file written");
+    assert!(json.starts_with('['), "not a JSON array: {json}");
+    assert!(json.contains("\"scenario\":\"steady\""), "missing steady reports: {json}");
+    let _ = std::fs::remove_file(&path);
+}

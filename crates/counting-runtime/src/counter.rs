@@ -22,6 +22,30 @@ pub trait SharedCounter: Sync {
     /// assignment).
     fn next(&self, thread_id: usize) -> u64;
 
+    /// Obtains `k` counter values in one operation, appending them to
+    /// `out`. Every value handed out (batched or not) is globally unique.
+    ///
+    /// The default implementation performs `k` independent [`Self::next`]
+    /// calls; counters override it with a *combining* fast path that
+    /// reserves all `k` values in a single traversal, cutting the
+    /// per-value cost by a factor of `k`.
+    ///
+    /// Range semantics: the centralized counters always hand out exactly
+    /// `0..m` for `m` total values. Network-backed counters reserve a
+    /// stride of `k` values from one output-wire dispenser per call, so
+    /// their union of handed-out values at quiescence is the exact range
+    /// `0..m` provided every operation of the run uses the same `k` and
+    /// the total number of operations is a multiple of the network's
+    /// output width (the counting property then delivers equally many
+    /// reservations to every output wire). Uniqueness needs no such
+    /// precondition.
+    fn next_batch(&self, thread_id: usize, k: usize, out: &mut Vec<u64>) {
+        out.reserve(k);
+        for _ in 0..k {
+            out.push(self.next(thread_id));
+        }
+    }
+
     /// A short human-readable description used in benchmark output.
     fn describe(&self) -> String;
 }
@@ -69,6 +93,19 @@ impl SharedCounter for NetworkCounter {
         self.dispensers[out].fetch_add(t, Ordering::Relaxed)
     }
 
+    fn next_batch(&self, thread_id: usize, k: usize, out: &mut Vec<u64>) {
+        if k == 0 {
+            return;
+        }
+        // Combining: one traversal reserves a stride of `k` values from
+        // the exit dispenser instead of k full traversals.
+        let wire = thread_id % self.network.input_width();
+        let exit = self.network.traverse(wire);
+        let t = self.network.output_width() as u64;
+        let base = self.dispensers[exit].fetch_add(t * k as u64, Ordering::Relaxed);
+        out.extend((0..k as u64).map(|i| base + i * t));
+    }
+
     fn describe(&self) -> String {
         self.name.clone()
     }
@@ -92,6 +129,11 @@ impl CentralCounter {
 impl SharedCounter for CentralCounter {
     fn next(&self, _thread_id: usize) -> u64 {
         self.value.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn next_batch(&self, _thread_id: usize, k: usize, out: &mut Vec<u64>) {
+        let base = self.value.fetch_add(k as u64, Ordering::Relaxed);
+        out.extend(base..base + k as u64);
     }
 
     fn describe(&self) -> String {
@@ -119,6 +161,13 @@ impl SharedCounter for LockCounter {
         let v = *guard;
         *guard += 1;
         v
+    }
+
+    fn next_batch(&self, _thread_id: usize, k: usize, out: &mut Vec<u64>) {
+        let mut guard = self.value.lock();
+        let base = *guard;
+        *guard += k as u64;
+        out.extend(base..base + k as u64);
     }
 
     fn describe(&self) -> String {
@@ -189,6 +238,104 @@ mod tests {
         let counter = LockCounter::new();
         let values = collect_concurrent_values(&counter, 4, 1_000);
         assert_values_are_exact_range(&values);
+    }
+
+    fn collect_concurrent_batches<C: SharedCounter>(
+        counter: &C,
+        threads: usize,
+        batches_per_thread: usize,
+        k: usize,
+    ) -> Vec<u64> {
+        let all = StdMutex::new(Vec::with_capacity(threads * batches_per_thread * k));
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let all = &all;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(batches_per_thread * k);
+                    for _ in 0..batches_per_thread {
+                        counter.next_batch(tid, k, &mut local);
+                    }
+                    all.lock().expect("poisoned").extend(local);
+                });
+            }
+        });
+        all.into_inner().expect("poisoned")
+    }
+
+    #[test]
+    fn network_counter_batches_hand_out_exact_range_sequentially() {
+        // 16 batch operations on C(4,8): 16 traversals are a multiple of
+        // the output width 8, so the stride reservations cover 0..16k
+        // without gaps.
+        let net = counting_network(4, 8).expect("valid");
+        let counter = NetworkCounter::new("C(4,8)", &net);
+        let k = 3;
+        let mut values = Vec::new();
+        for op in 0..16 {
+            counter.next_batch(op % 4, k, &mut values);
+        }
+        assert_values_are_exact_range(&values);
+    }
+
+    #[test]
+    fn network_counter_batches_are_unique_and_dense_concurrently() {
+        let net = counting_network(8, 24).expect("valid");
+        let counter = NetworkCounter::new("C(8,24)", &net);
+        // 8 threads × 300 batches = 2400 traversals, a multiple of t = 24.
+        let values = collect_concurrent_batches(&counter, 8, 300, 4);
+        assert_values_are_exact_range(&values);
+    }
+
+    #[test]
+    fn central_and_lock_batches_hand_out_exact_range_concurrently() {
+        let central = CentralCounter::new();
+        assert_values_are_exact_range(&collect_concurrent_batches(&central, 8, 500, 5));
+        let lock = LockCounter::new();
+        assert_values_are_exact_range(&collect_concurrent_batches(&lock, 4, 400, 7));
+    }
+
+    #[test]
+    fn batch_of_one_matches_plain_next_semantics() {
+        let net = counting_network(4, 4).expect("valid");
+        let counter = NetworkCounter::new("C(4,4)", &net);
+        let mut values = Vec::new();
+        for op in 0..12 {
+            counter.next_batch(op, 1, &mut values);
+        }
+        values.push(counter.next(0));
+        values.push(counter.next(1));
+        values.push(counter.next(2));
+        values.push(counter.next(3));
+        assert_values_are_exact_range(&values);
+    }
+
+    #[test]
+    fn zero_sized_batch_is_a_no_op() {
+        let net = counting_network(2, 2).expect("valid");
+        let counter = NetworkCounter::new("C(2,2)", &net);
+        let mut values = Vec::new();
+        counter.next_batch(0, 0, &mut values);
+        assert!(values.is_empty());
+        // The dispensers were not advanced: the next value is still 0 or 1.
+        assert!(counter.next(0) < 2);
+    }
+
+    #[test]
+    fn default_batch_implementation_loops_next() {
+        // A minimal counter relying on the trait's default `next_batch`.
+        struct Sequential(AtomicU64);
+        impl SharedCounter for Sequential {
+            fn next(&self, _thread_id: usize) -> u64 {
+                self.0.fetch_add(1, Ordering::Relaxed)
+            }
+            fn describe(&self) -> String {
+                "sequential".into()
+            }
+        }
+        let counter = Sequential(AtomicU64::new(0));
+        let mut values = Vec::new();
+        counter.next_batch(0, 5, &mut values);
+        assert_eq!(values, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

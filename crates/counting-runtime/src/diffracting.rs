@@ -160,6 +160,19 @@ impl SharedCounter for DiffractingCounter {
         self.dispensers[leaf].fetch_add(self.width as u64, Ordering::Relaxed)
     }
 
+    fn next_batch(&self, thread_id: usize, k: usize, out: &mut Vec<u64>) {
+        if k == 0 {
+            return;
+        }
+        // Combining: one descent reserves a stride of `k` values from the
+        // leaf dispenser (see `SharedCounter::next_batch` for the range
+        // semantics of stride reservations).
+        let leaf = self.descend(thread_id);
+        let w = self.width as u64;
+        let base = self.dispensers[leaf].fetch_add(w * k as u64, Ordering::Relaxed);
+        out.extend((0..k as u64).map(|i| base + i * w));
+    }
+
     fn describe(&self) -> String {
         format!("diffracting tree [{}]", self.width)
     }
@@ -235,6 +248,115 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_width() {
         let _ = DiffractingCounter::new(6, 2, 8);
+    }
+
+    #[test]
+    fn concurrent_batches_are_unique_and_dense() {
+        let counter = DiffractingCounter::new(8, 4, 32);
+        let threads = 8;
+        let batches = 200;
+        let k = 4;
+        let all = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let counter = &counter;
+                let all = &all;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(batches * k);
+                    for _ in 0..batches {
+                        counter.next_batch(tid, k, &mut local);
+                    }
+                    all.lock().expect("not poisoned").extend(local);
+                });
+            }
+        });
+        let values = all.into_inner().expect("not poisoned");
+        // 1600 descents are a multiple of the 8 leaves, so the stride
+        // reservations tile 0..m exactly.
+        let m = (threads * batches * k) as u64;
+        let set: HashSet<u64> = values.iter().copied().collect();
+        assert_eq!(set.len() as u64, m, "duplicates handed out");
+        assert!(values.iter().all(|&v| v < m), "value out of range");
+    }
+
+    // --- prism exchanger protocol, adversarial interleavings -------------
+
+    #[test]
+    fn captured_parked_waiter_and_capturer_take_opposite_sides() {
+        // A waiter parks in the slot (huge spin bound stands in for a
+        // preempted thread that left its WAITING offer published); a
+        // second token captures it. The pair must split left/right without
+        // touching the toggle.
+        let node = PrismNode::new(1);
+        let collisions = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| node.traverse(0, 2_000_000_000, &collisions));
+            // Wait until the offer is visible, then capture it.
+            while node.prism[0].load(Ordering::Acquire) != WAITING {
+                std::thread::yield_now();
+            }
+            let capturer_dir = node.traverse(0, 0, &collisions);
+            let waiter_dir = waiter.join().expect("waiter panicked");
+            assert_eq!(waiter_dir, 0, "the waiting token goes left");
+            assert_eq!(capturer_dir, 1, "the capturing token goes right");
+        });
+        assert_eq!(collisions.load(Ordering::Relaxed), 2, "both sides count the diffraction");
+        assert_eq!(node.toggle.load(Ordering::Relaxed), 0, "the toggle was bypassed");
+        assert_eq!(node.prism[0].load(Ordering::Relaxed), EMPTY, "the slot was recycled");
+    }
+
+    #[test]
+    fn waiter_parked_past_the_spin_bound_falls_back_to_the_toggle() {
+        // No partner ever arrives: every token times out after its spin
+        // bound, retracts its offer and falls back to the toggle, which
+        // must keep the node a perfect balancer.
+        let node = PrismNode::new(1);
+        let collisions = AtomicU64::new(0);
+        let dirs: Vec<usize> = (0..10).map(|_| node.traverse(0, 3, &collisions)).collect();
+        assert_eq!(dirs, vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1], "toggle alternates");
+        assert_eq!(collisions.load(Ordering::Relaxed), 0, "no partner, no diffraction");
+        assert_eq!(node.prism[0].load(Ordering::Relaxed), EMPTY, "offers were retracted");
+    }
+
+    #[test]
+    fn preemption_hostile_schedule_preserves_uniqueness() {
+        // Preemption-hostile torture of the full tree: a single prism slot
+        // per node, a tiny spin bound, and threads that repeatedly park
+        // mid-stream (sleeping stands in for preemption) so WAITING offers
+        // routinely outlive their spin bound before a partner shows up.
+        // Whichever mix of capture, retraction-race and toggle fallback
+        // results, the values must stay unique and dense.
+        let counter = DiffractingCounter::new(4, 1, 1);
+        let threads = 8;
+        let per_thread = 500;
+        let all = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let counter = &counter;
+                let all = &all;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(per_thread);
+                    for op in 0..per_thread {
+                        local.push(counter.next(tid));
+                        if op % 64 == tid * 8 {
+                            // Park long enough that any offer this thread
+                            // raced with expires its spin bound.
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                        }
+                    }
+                    all.lock().expect("not poisoned").extend(local);
+                });
+            }
+        });
+        let values = all.into_inner().expect("not poisoned");
+        let m = (threads * per_thread) as u64;
+        let set: HashSet<u64> = values.iter().copied().collect();
+        assert_eq!(set.len() as u64, m, "duplicates under preemption-hostile schedule");
+        assert!(values.iter().all(|&v| v < m), "value out of range");
+        // With spin bound 1 and forced parking, at least some tokens must
+        // have taken the toggle fallback path.
+        let toggled: u64 = counter.nodes.iter().map(|n| n.toggle.load(Ordering::Relaxed)).sum();
+        assert!(toggled > 0, "expected toggle fallbacks under a spin bound of 1");
     }
 
     #[test]

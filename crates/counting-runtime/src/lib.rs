@@ -20,6 +20,12 @@
 //!   [`SharedCounter`] with `n` threads and reports operations per second,
 //!   reproducing the shape of the paper's throughput comparison
 //!   (experiment E7 in `DESIGN.md`).
+//! * [`stress`] — an adversarial real-thread workload driver (steady,
+//!   bursty, skewed, churn scenarios) with online invariant checking: a
+//!   sharded atomic [`ValueBitmap`] verifies uniqueness and exact-range
+//!   coverage without a mutex-guarded set, and timestamped records are
+//!   fed to `counting-sim`'s linearizability analysis to *measure*
+//!   non-linearizability on real hardware.
 //!
 //! Concurrency-correctness notes: every balancer traversal is a single
 //! atomic `fetch_add` (so balancer state transitions are linearizable per
@@ -34,9 +40,11 @@
 pub mod compiled;
 pub mod counter;
 pub mod diffracting;
+pub mod stress;
 pub mod throughput;
 
 pub use compiled::CompiledNetwork;
 pub use counter::{CentralCounter, LockCounter, NetworkCounter, SharedCounter};
 pub use diffracting::DiffractingCounter;
-pub use throughput::{measure_throughput, ThroughputMeasurement};
+pub use stress::{run_stress, Scenario, StressConfig, StressReport, ValueBitmap};
+pub use throughput::{measure_batched_throughput, measure_throughput, ThroughputMeasurement};

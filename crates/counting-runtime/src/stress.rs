@@ -1,0 +1,597 @@
+//! Real-thread stress driver with online invariant checking.
+//!
+//! The simulator in `counting-sim` explores adversarial *schedules*; this
+//! module is its hardware counterpart: it tortures any [`SharedCounter`]
+//! with real threads under configurable workload [`Scenario`]s — steady
+//! saturation, barrier-aligned bursts, skewed thread-to-wire assignment,
+//! and thread arrival/departure churn — while checking the
+//! Fetch&Increment contract *online*:
+//!
+//! * every issued value is marked in a [`ValueBitmap`] (an array of atomic
+//!   words, one `fetch_or` per value), so duplicates are detected the
+//!   moment they happen and the exact-range property (`0..m` with no gaps
+//!   at quiescence) is verified for millions of operations without a
+//!   mutex-guarded `HashSet`;
+//! * optionally, every operation is timestamped and the records are fed
+//!   to [`counting_sim::linearizability::violations`], measuring (not
+//!   just asserting) how non-linearizable a counter is on real hardware
+//!   (Section 1.4.2: counting networks trade linearizability for
+//!   throughput).
+//!
+//! All scenarios exclude thread start-up from the measured window via a
+//! start barrier, so the reported rates are steady-state.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use counting_sim::linearizability::violations;
+use counting_sim::TokenRecord;
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::counter::SharedCounter;
+use crate::throughput::MeasuredWindow;
+
+/// A concurrent bitmap over the value range `0..capacity`, used to check
+/// uniqueness online and exact-range coverage at quiescence.
+///
+/// The bitmap is sharded at word granularity: marking value `v` is a
+/// single `fetch_or` on word `v / 64`, so two marks contend only when
+/// their values fall into the same 64-value shard — negligible for the
+/// scattered value streams a counting network produces.
+#[derive(Debug)]
+pub struct ValueBitmap {
+    words: Box<[AtomicU64]>,
+    capacity: u64,
+}
+
+impl ValueBitmap {
+    /// Creates a bitmap able to track the values `0..capacity`.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        let words = (0..capacity.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Self { words, capacity }
+    }
+
+    /// The tracked value range `0..capacity`.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Marks `value` as seen. Returns `true` if it was new, `false` if it
+    /// had already been marked — i.e. a duplicate hand-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    pub fn mark(&self, value: u64) -> bool {
+        assert!(value < self.capacity, "value {value} outside bitmap capacity {}", self.capacity);
+        let bit = 1u64 << (value % 64);
+        self.words[(value / 64) as usize].fetch_or(bit, Ordering::Relaxed) & bit == 0
+    }
+
+    /// Whether `value` has been marked.
+    #[must_use]
+    pub fn contains(&self, value: u64) -> bool {
+        value < self.capacity
+            && self.words[(value / 64) as usize].load(Ordering::Relaxed) & (1 << (value % 64)) != 0
+    }
+
+    /// The number of values in `0..capacity` not marked yet. Exact only at
+    /// quiescence (no `mark` in flight).
+    #[must_use]
+    pub fn missing(&self) -> u64 {
+        let set: u64 =
+            self.words.iter().map(|w| u64::from(w.load(Ordering::Relaxed).count_ones())).sum();
+        self.capacity - set
+    }
+}
+
+/// A workload shape for [`run_stress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Every thread issues its operations back to back.
+    Steady,
+    /// Operations happen in barrier-aligned bursts: the threads blast a
+    /// slice of their quota, meet at a barrier, and repeat — the
+    /// high-contention wave regime the paper's bounds are stated for.
+    Bursty {
+        /// Number of aligned bursts the run is divided into.
+        phases: usize,
+    },
+    /// Skewed thread-to-wire assignment: thread `i` presents identity
+    /// `i % groups`, so `groups < threads` piles several threads onto the
+    /// same input wire of a network-backed counter.
+    Skewed {
+        /// Number of distinct identities presented (`>= 1`).
+        groups: usize,
+    },
+    /// Thread arrival/departure churn: thread `i` delays its start by
+    /// `i * stagger_micros` and leaves as soon as its quota is done, so
+    /// the active thread count ramps up and back down during the run.
+    Churn {
+        /// Arrival stagger between consecutive threads, in microseconds.
+        stagger_micros: u64,
+    },
+}
+
+impl Scenario {
+    /// A short stable label used in tables and JSON output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::Steady => "steady".to_owned(),
+            Scenario::Bursty { phases } => format!("bursty/{phases}"),
+            Scenario::Skewed { groups } => format!("skewed/{groups}"),
+            Scenario::Churn { stagger_micros } => format!("churn/{stagger_micros}us"),
+        }
+    }
+}
+
+/// Configuration of one stress run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressConfig {
+    /// Number of real threads driving the counter.
+    pub threads: usize,
+    /// Operations (calls to `next` or `next_batch`) per thread.
+    pub ops_per_thread: u64,
+    /// Values per operation: `1` uses [`SharedCounter::next`], `k > 1`
+    /// uses [`SharedCounter::next_batch`] with batches of `k`.
+    pub batch: usize,
+    /// The workload shape.
+    pub scenario: Scenario,
+    /// Whether to timestamp every operation and measure linearizability
+    /// violations (costs two clock reads per operation plus memory
+    /// proportional to the number of values).
+    pub record_tokens: bool,
+}
+
+impl StressConfig {
+    /// A steady workload with `threads` threads and `ops_per_thread`
+    /// unbatched operations each; invariant checking only.
+    #[must_use]
+    pub fn steady(threads: usize, ops_per_thread: u64) -> Self {
+        Self { threads, ops_per_thread, batch: 1, scenario: Scenario::Steady, record_tokens: false }
+    }
+
+    /// The total number of values the run hands out.
+    #[must_use]
+    pub fn total_values(&self) -> u64 {
+        self.threads as u64 * self.ops_per_thread * self.batch as u64
+    }
+}
+
+/// The outcome of one stress run: rates plus the online invariant checks.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StressReport {
+    /// Description of the counter under test.
+    pub counter: String,
+    /// The scenario label (see [`Scenario::label`]).
+    pub scenario: String,
+    /// Number of threads that drove the counter.
+    pub threads: usize,
+    /// Values per operation (`1` = unbatched).
+    pub batch: usize,
+    /// Total values handed out (`threads × ops_per_thread × batch`).
+    pub total_values: u64,
+    /// Values handed out more than once (must be `0` for a correct
+    /// counter).
+    pub duplicates: u64,
+    /// Values in `0..total_values` never handed out at quiescence (must
+    /// be `0` when the run satisfies the range precondition of
+    /// [`SharedCounter::next_batch`]).
+    pub missing: u64,
+    /// Values `>= total_values` handed out (must be `0`).
+    pub out_of_range: u64,
+    /// Wall-clock seconds of the measured window (start barrier to last
+    /// thread done).
+    pub elapsed_secs: f64,
+    /// Aggregate values handed out per second.
+    pub values_per_second: f64,
+    /// Linearizability violations measured from the timestamped records
+    /// (`None` unless `record_tokens` was set).
+    pub linearizability_violations: Option<u64>,
+}
+
+impl StressReport {
+    /// `true` if the run handed out exactly the values `0..total_values`,
+    /// each once.
+    #[must_use]
+    pub fn is_exact_range(&self) -> bool {
+        self.duplicates == 0 && self.missing == 0 && self.out_of_range == 0
+    }
+
+    /// The measured window as a [`Duration`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_secs_f64(self.elapsed_secs)
+    }
+}
+
+/// Per-thread bookkeeping shared with the invariant checker.
+struct Inspector<'a> {
+    bitmap: &'a ValueBitmap,
+    duplicates: AtomicU64,
+    out_of_range: AtomicU64,
+}
+
+impl Inspector<'_> {
+    fn check(&self, value: u64) {
+        if value >= self.bitmap.capacity() {
+            self.out_of_range.fetch_add(1, Ordering::Relaxed);
+        } else if !self.bitmap.mark(value) {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Drives `counter` through the configured scenario and verifies the
+/// Fetch&Increment contract online.
+///
+/// All threads are released together by a start barrier; the measured
+/// window — assembled from worker-side timestamps so it stays accurate
+/// even when the coordinating thread is descheduled on an oversubscribed
+/// machine — runs from that release to the last thread's completion, so
+/// start-up cost is excluded (churn stagger, which is part of the
+/// workload, is not).
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no threads, no operations,
+/// batch of zero, a skew of zero groups, or zero bursty phases) or if a
+/// worker thread panics.
+#[must_use]
+pub fn run_stress<C: SharedCounter + ?Sized>(counter: &C, config: &StressConfig) -> StressReport {
+    assert!(config.threads > 0, "at least one thread is required");
+    assert!(config.ops_per_thread > 0, "at least one operation per thread is required");
+    assert!(config.batch > 0, "batch must be at least 1");
+    if let Scenario::Skewed { groups } = config.scenario {
+        assert!(groups > 0, "skew needs at least one identity group");
+    }
+    if let Scenario::Bursty { phases } = config.scenario {
+        assert!(phases > 0, "bursty needs at least one phase");
+    }
+
+    let m = config.total_values();
+    let bitmap = ValueBitmap::new(m);
+    let inspector = Inspector {
+        bitmap: &bitmap,
+        duplicates: AtomicU64::new(0),
+        out_of_range: AtomicU64::new(0),
+    };
+    let sync = WorkerSync {
+        window: MeasuredWindow::new(config.threads),
+        phase_barrier: Barrier::new(config.threads),
+    };
+    let records: Mutex<Vec<TokenRecord>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for tid in 0..config.threads {
+            let inspector = &inspector;
+            let sync = &sync;
+            let records = &records;
+            scope.spawn(move || {
+                run_worker(counter, config, tid, inspector, sync, records);
+            });
+        }
+    });
+    let elapsed = sync.window.elapsed();
+
+    let linearizability_violations = if config.record_tokens {
+        Some(violations(&records.into_inner()).len() as u64)
+    } else {
+        None
+    };
+    let elapsed_secs = elapsed.as_secs_f64();
+    StressReport {
+        counter: counter.describe(),
+        scenario: config.scenario.label(),
+        threads: config.threads,
+        batch: config.batch,
+        total_values: m,
+        duplicates: inspector.duplicates.load(Ordering::Relaxed),
+        missing: bitmap.missing(),
+        out_of_range: inspector.out_of_range.load(Ordering::Relaxed),
+        elapsed_secs,
+        values_per_second: m as f64 / elapsed_secs.max(f64::EPSILON),
+        linearizability_violations,
+    }
+}
+
+/// Synchronization shared by the stress workers: the measured window
+/// (start barrier + worker-side timestamps) and the bursty phase barrier.
+struct WorkerSync {
+    window: MeasuredWindow,
+    phase_barrier: Barrier,
+}
+
+/// The body of one stress thread.
+fn run_worker<C: SharedCounter + ?Sized>(
+    counter: &C,
+    config: &StressConfig,
+    tid: usize,
+    inspector: &Inspector<'_>,
+    sync: &WorkerSync,
+    records: &Mutex<Vec<TokenRecord>>,
+) {
+    // The identity presented to the counter (input-wire choice).
+    let identity = match config.scenario {
+        Scenario::Skewed { groups } => tid % groups,
+        _ => tid,
+    };
+    let mut local_records = if config.record_tokens {
+        Vec::with_capacity((config.ops_per_thread * config.batch as u64) as usize)
+    } else {
+        Vec::new()
+    };
+    let mut batch_buf: Vec<u64> = Vec::with_capacity(config.batch);
+
+    sync.window.enter();
+    if let Scenario::Churn { stagger_micros } = config.scenario {
+        // Staggered arrival (inside the measured window — the stagger is
+        // part of the workload); departure churn follows from each thread
+        // leaving as soon as its quota is done.
+        std::thread::sleep(Duration::from_micros(tid as u64 * stagger_micros));
+    }
+
+    let phases = match config.scenario {
+        Scenario::Bursty { phases } => phases as u64,
+        _ => 1,
+    };
+    let mut remaining = config.ops_per_thread;
+    for phase in 0..phases {
+        // Spread the quota over the phases, giving the remainder to the
+        // early bursts.
+        let burst = remaining.div_ceil(phases - phase).min(remaining);
+        for _ in 0..burst {
+            // SeqCst fences pin the counter operation between its two
+            // timestamps on weakly ordered hardware: without them a
+            // Relaxed fetch_add could become globally visible after the
+            // exit-time clock read, and the linearizability measurement
+            // would report phantom violations for the centralized
+            // (linearizable) counters.
+            let enter_time = if config.record_tokens {
+                let t = sync.window.nanos();
+                fence(Ordering::SeqCst);
+                t
+            } else {
+                0
+            };
+            if config.batch == 1 {
+                let value = counter.next(identity);
+                if config.record_tokens {
+                    // Take the exit timestamp before the bitmap check so
+                    // the recorded interval covers only the counter
+                    // operation (a widened interval would hide genuine
+                    // non-overlap inversions from the violation count).
+                    fence(Ordering::SeqCst);
+                    let exit_time = sync.window.nanos();
+                    inspector.check(value);
+                    local_records.push(TokenRecord { process: tid, enter_time, exit_time, value });
+                } else {
+                    inspector.check(value);
+                }
+            } else {
+                batch_buf.clear();
+                counter.next_batch(identity, config.batch, &mut batch_buf);
+                let exit_time = if config.record_tokens {
+                    fence(Ordering::SeqCst);
+                    sync.window.nanos()
+                } else {
+                    0
+                };
+                for &value in &batch_buf {
+                    inspector.check(value);
+                    if config.record_tokens {
+                        local_records.push(TokenRecord {
+                            process: tid,
+                            enter_time,
+                            exit_time,
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+        remaining -= burst;
+        if phase + 1 < phases {
+            // Align the next burst across all threads (no rendezvous
+            // after the last burst — it would only stretch the measured
+            // window to the slowest thread plus a barrier wake).
+            sync.phase_barrier.wait();
+        }
+    }
+    debug_assert_eq!(remaining, 0);
+    sync.window.exit();
+
+    if config.record_tokens {
+        records.lock().extend(local_records);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{CentralCounter, LockCounter, NetworkCounter};
+    use crate::diffracting::DiffractingCounter;
+    use counting::counting_network;
+
+    #[test]
+    fn bitmap_marks_detect_duplicates_and_gaps() {
+        let bitmap = ValueBitmap::new(130);
+        assert_eq!(bitmap.capacity(), 130);
+        assert!(bitmap.mark(0));
+        assert!(bitmap.mark(129));
+        assert!(!bitmap.mark(0), "second mark is a duplicate");
+        assert!(bitmap.contains(129));
+        assert!(!bitmap.contains(64));
+        assert!(!bitmap.contains(4_000), "out of capacity is never contained");
+        assert_eq!(bitmap.missing(), 128);
+        for v in 0..130 {
+            let _ = bitmap.mark(v);
+        }
+        assert_eq!(bitmap.missing(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bitmap capacity")]
+    fn bitmap_rejects_values_beyond_capacity() {
+        let _ = ValueBitmap::new(10).mark(10);
+    }
+
+    #[test]
+    fn steady_run_verifies_exact_range() {
+        let net = counting_network(8, 8).expect("valid");
+        let counter = NetworkCounter::new("C(8,8)", &net);
+        let report = run_stress(&counter, &StressConfig::steady(8, 500));
+        assert_eq!(report.total_values, 4_000);
+        assert!(report.is_exact_range(), "{report:?}");
+        assert!(report.values_per_second > 0.0);
+        assert_eq!(report.counter, "C(8,8)");
+        assert_eq!(report.scenario, "steady");
+        assert!(report.linearizability_violations.is_none());
+        assert!(report.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn every_scenario_passes_on_every_runtime_counter() {
+        type CounterFactory = fn(&balnet::Network) -> Box<dyn SharedCounter>;
+        let net = counting_network(4, 8).expect("valid");
+        // A counter hands out each value once, so every run needs a fresh
+        // instance.
+        let make: [CounterFactory; 4] = [
+            |net| Box::new(NetworkCounter::new("C(4,8)", net)),
+            |_| Box::new(DiffractingCounter::new(8, 2, 16)),
+            |_| Box::new(CentralCounter::new()),
+            |_| Box::new(LockCounter::new()),
+        ];
+        let scenarios = [
+            Scenario::Steady,
+            Scenario::Bursty { phases: 4 },
+            Scenario::Skewed { groups: 2 },
+            Scenario::Churn { stagger_micros: 100 },
+        ];
+        for factory in make {
+            for scenario in scenarios {
+                let counter = factory(&net);
+                let config = StressConfig {
+                    threads: 8,
+                    ops_per_thread: 120,
+                    batch: 1,
+                    scenario,
+                    record_tokens: false,
+                };
+                let report = run_stress(counter.as_ref(), &config);
+                assert!(
+                    report.is_exact_range(),
+                    "{} under {}: {report:?}",
+                    counter.describe(),
+                    scenario.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_runs_verify_exact_range_when_traversals_divide_evenly() {
+        // 8 threads × 16 ops = 128 traversals — a multiple of the output
+        // width 8 — so stride reservations tile the range exactly.
+        let net = counting_network(8, 8).expect("valid");
+        let counter = NetworkCounter::new("C(8,8)", &net);
+        let config = StressConfig {
+            threads: 8,
+            ops_per_thread: 16,
+            batch: 6,
+            scenario: Scenario::Steady,
+            record_tokens: false,
+        };
+        let report = run_stress(&counter, &config);
+        assert_eq!(report.total_values, 8 * 16 * 6);
+        assert!(report.is_exact_range(), "{report:?}");
+    }
+
+    #[test]
+    fn recorded_runs_measure_linearizability() {
+        // The centralized counter is linearizable: its fetch_add happens
+        // between the two timestamps, so non-overlapping operations can
+        // never invert values.
+        let counter = CentralCounter::new();
+        let config = StressConfig {
+            threads: 8,
+            ops_per_thread: 300,
+            batch: 1,
+            scenario: Scenario::Steady,
+            record_tokens: true,
+        };
+        let report = run_stress(&counter, &config);
+        assert_eq!(report.linearizability_violations, Some(0));
+        assert!(report.is_exact_range());
+        // A network counter yields a measurement too (any count is legal —
+        // non-linearizability is a possibility, not a certainty, on a
+        // given run).
+        let net = counting_network(4, 4).expect("valid");
+        let network = NetworkCounter::new("C(4,4)", &net);
+        let report = run_stress(&network, &config);
+        assert!(report.linearizability_violations.is_some());
+        assert!(report.is_exact_range());
+    }
+
+    #[test]
+    fn duplicate_and_gap_detection_actually_fires() {
+        // A deliberately broken counter: every thread re-hands the same
+        // values. The harness must report duplicates and gaps, not panic.
+        struct Broken(AtomicU64);
+        impl SharedCounter for Broken {
+            fn next(&self, _thread_id: usize) -> u64 {
+                // Hands out 0, 1, 0, 1, ... and occasionally escapes the
+                // range entirely.
+                let n = self.0.fetch_add(1, Ordering::Relaxed);
+                if n % 10 == 9 {
+                    u64::MAX
+                } else {
+                    n % 2
+                }
+            }
+            fn describe(&self) -> String {
+                "broken".into()
+            }
+        }
+        let report = run_stress(&Broken(AtomicU64::new(0)), &StressConfig::steady(4, 100));
+        assert!(!report.is_exact_range());
+        assert!(report.duplicates > 0, "{report:?}");
+        assert!(report.out_of_range > 0, "{report:?}");
+        assert!(report.missing > 0, "{report:?}");
+    }
+
+    #[test]
+    fn scenario_labels_are_stable() {
+        assert_eq!(Scenario::Steady.label(), "steady");
+        assert_eq!(Scenario::Bursty { phases: 4 }.label(), "bursty/4");
+        assert_eq!(Scenario::Skewed { groups: 2 }.label(), "skewed/2");
+        assert_eq!(Scenario::Churn { stagger_micros: 100 }.label(), "churn/100us");
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let counter = CentralCounter::new();
+        let report = run_stress(&counter, &StressConfig::steady(2, 50));
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("\"counter\":\"central fetch_add\""), "{json}");
+        assert!(json.contains("\"duplicates\":0"), "{json}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = run_stress(&CentralCounter::new(), &StressConfig::steady(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn zero_batch_rejected() {
+        let config = StressConfig { batch: 0, ..StressConfig::steady(1, 1) };
+        let _ = run_stress(&CentralCounter::new(), &config);
+    }
+}

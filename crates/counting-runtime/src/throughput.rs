@@ -6,9 +6,65 @@
 //! module drives any [`SharedCounter`] with `n` threads performing a fixed
 //! number of operations each and reports the aggregate rate.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use crate::counter::SharedCounter;
+
+/// Shared measured-window plumbing for multi-threaded harnesses: a start
+/// barrier plus worker-side timestamps. Workers call [`enter`](Self::enter)
+/// (rendezvous, then record the release instant) and
+/// [`exit`](Self::exit) (record completion); the window is the earliest
+/// release to the latest completion. Timing in the coordinating thread
+/// instead would under-count whenever the OS runs the workers to
+/// completion before handing the coordinator the CPU back (routine on an
+/// oversubscribed machine).
+pub(crate) struct MeasuredWindow {
+    barrier: Barrier,
+    first_start: AtomicU64,
+    last_end: AtomicU64,
+    epoch: Instant,
+}
+
+impl MeasuredWindow {
+    pub(crate) fn new(threads: usize) -> Self {
+        Self {
+            barrier: Barrier::new(threads),
+            first_start: AtomicU64::new(u64::MAX),
+            last_end: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Monotonic nanoseconds since the window's epoch, comparable across
+    /// threads.
+    pub(crate) fn nanos(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Blocks until every worker has arrived, then records the release
+    /// instant. Call once per worker, before its workload.
+    pub(crate) fn enter(&self) {
+        self.barrier.wait();
+        self.first_start.fetch_min(self.nanos(), Ordering::Relaxed);
+    }
+
+    /// Records the worker's completion instant. Call once per worker,
+    /// after its workload.
+    pub(crate) fn exit(&self) {
+        self.last_end.fetch_max(self.nanos(), Ordering::Relaxed);
+    }
+
+    /// The measured window. Meaningful only after all workers finished.
+    pub(crate) fn elapsed(&self) -> Duration {
+        Duration::from_nanos(
+            self.last_end
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.first_start.load(Ordering::Relaxed)),
+        )
+    }
+}
 
 /// The result of one throughput measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,11 +73,12 @@ pub struct ThroughputMeasurement {
     pub counter: String,
     /// Number of threads that drove the counter.
     pub threads: usize,
-    /// Operations performed per thread.
+    /// Values obtained per thread (for batched runs, batches × k).
     pub ops_per_thread: u64,
-    /// Total operations across all threads.
+    /// Total values obtained across all threads.
     pub total_ops: u64,
-    /// Wall-clock time for the whole run.
+    /// Wall-clock time of the measured window (barrier release to last
+    /// thread done; thread start-up is excluded).
     pub elapsed: Duration,
     /// Aggregate operations per second.
     pub ops_per_second: f64,
@@ -30,35 +87,73 @@ pub struct ThroughputMeasurement {
 /// Runs `threads` threads, each performing `ops_per_thread` calls to
 /// `counter.next`, and measures the aggregate throughput.
 ///
-/// The measurement includes thread start-up; callers interested in steady
-/// state should use a large enough `ops_per_thread` that start-up cost is
-/// negligible (the benches use tens of thousands of operations per
-/// thread).
+/// All threads rendezvous at a start barrier before the clock starts, so
+/// thread spawn cost is excluded and every thread begins the measured
+/// window together (no short-staffed warm-up skewing the rate). The
+/// window itself is timestamped by the workers — first worker release to
+/// last worker completion — so the measurement stays accurate even when
+/// the coordinating thread is descheduled on an oversubscribed machine.
 #[must_use]
 pub fn measure_throughput<C: SharedCounter + ?Sized>(
     counter: &C,
     threads: usize,
     ops_per_thread: u64,
 ) -> ThroughputMeasurement {
+    measure(counter, threads, ops_per_thread, 1)
+}
+
+/// Like [`measure_throughput`], but each of the `batches_per_thread`
+/// operations reserves `k` values via [`SharedCounter::next_batch`] — the
+/// combining fast path. The reported totals and rate count *values*, so
+/// the numbers are directly comparable with [`measure_throughput`].
+#[must_use]
+pub fn measure_batched_throughput<C: SharedCounter + ?Sized>(
+    counter: &C,
+    threads: usize,
+    batches_per_thread: u64,
+    k: usize,
+) -> ThroughputMeasurement {
+    assert!(k > 0, "batch size must be at least 1");
+    measure(counter, threads, batches_per_thread, k)
+}
+
+fn measure<C: SharedCounter + ?Sized>(
+    counter: &C,
+    threads: usize,
+    ops_per_thread: u64,
+    k: usize,
+) -> ThroughputMeasurement {
     assert!(threads > 0, "at least one thread is required");
-    let start = Instant::now();
+    let window = MeasuredWindow::new(threads);
     std::thread::scope(|scope| {
         for tid in 0..threads {
+            let window = &window;
             scope.spawn(move || {
-                for _ in 0..ops_per_thread {
-                    // The value is intentionally discarded; the side effect
-                    // of advancing the shared counter is the workload.
-                    let _ = counter.next(tid);
+                window.enter();
+                if k == 1 {
+                    for _ in 0..ops_per_thread {
+                        // The value is intentionally discarded; the side
+                        // effect of advancing the shared counter is the
+                        // workload.
+                        let _ = counter.next(tid);
+                    }
+                } else {
+                    let mut batch = Vec::with_capacity(k);
+                    for _ in 0..ops_per_thread {
+                        batch.clear();
+                        counter.next_batch(tid, k, &mut batch);
+                    }
                 }
+                window.exit();
             });
         }
     });
-    let elapsed = start.elapsed();
-    let total_ops = threads as u64 * ops_per_thread;
+    let elapsed = window.elapsed();
+    let total_ops = threads as u64 * ops_per_thread * k as u64;
     ThroughputMeasurement {
         counter: counter.describe(),
         threads,
-        ops_per_thread,
+        ops_per_thread: ops_per_thread * k as u64,
         total_ops,
         elapsed,
         ops_per_second: total_ops as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
@@ -93,9 +188,35 @@ mod tests {
     }
 
     #[test]
+    fn batched_measurement_counts_values_not_batches() {
+        let counter = CentralCounter::new();
+        let m = measure_batched_throughput(&counter, 4, 250, 8);
+        assert_eq!(m.total_ops, 4 * 250 * 8);
+        assert_eq!(m.ops_per_thread, 2_000);
+        // All values really were reserved.
+        assert_eq!(counter.next(0), 8_000);
+    }
+
+    #[test]
+    fn batched_network_measurement_runs() {
+        let net = counting_network(8, 8).expect("valid");
+        let counter = NetworkCounter::new("C(8,8)", &net);
+        let m = measure_batched_throughput(&counter, 4, 100, 4);
+        assert_eq!(m.total_ops, 1_600);
+        assert!(m.ops_per_second > 0.0);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let counter = CentralCounter::new();
         let _ = measure_throughput(&counter, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn zero_batch_rejected() {
+        let counter = CentralCounter::new();
+        let _ = measure_batched_throughput(&counter, 1, 10, 0);
     }
 }

@@ -18,6 +18,8 @@ use counting_networks::net::{
     assign_counter_values, balancer_step_output, is_k_smooth, is_step, quiescent_output,
     step_sequence, TokenExecutor,
 };
+use counting_networks::runtime::stress::{run_stress, Scenario, StressConfig};
+use counting_networks::runtime::NetworkCounter;
 use counting_networks::sorting::ComparatorNetwork;
 use proptest::prelude::*;
 
@@ -130,6 +132,39 @@ proptest! {
         let mut expected = slice.to_vec();
         expected.sort_unstable_by(|a, b| b.cmp(a));
         prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn threaded_network_counter_hands_out_the_exact_range(
+        (w, p) in (1usize..=3).prop_flat_map(|k| (Just(1usize << k), 1usize..=3)),
+        ops_per_thread in 1u64..=32,
+        batch in 1usize..=3,
+    ) {
+        // Real-thread Fetch&Increment over a random valid C(w, t): the
+        // values handed out must be exactly 0..m. For batched runs the
+        // total traversal count must be a multiple of t (see
+        // `SharedCounter::next_batch`), so round the per-thread quota up
+        // to a multiple of t (8 threads × multiple of t stays one).
+        let t = w * p;
+        let ops_per_thread = if batch > 1 {
+            ops_per_thread.div_ceil(t as u64) * t as u64
+        } else {
+            ops_per_thread
+        };
+        let net = counting_network(w, t).expect("valid");
+        let counter = NetworkCounter::new(format!("C({w},{t})"), &net);
+        let config = StressConfig {
+            threads: 8,
+            ops_per_thread,
+            batch,
+            scenario: Scenario::Steady,
+            record_tokens: false,
+        };
+        let report = run_stress(&counter, &config);
+        prop_assert!(
+            report.is_exact_range(),
+            "C({},{}) ops={} batch={}: {:?}", w, t, ops_per_thread, batch, report
+        );
     }
 
     #[test]
