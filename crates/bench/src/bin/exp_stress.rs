@@ -12,8 +12,8 @@
 
 use bench::{comparison_suite, Table};
 use counting_runtime::{
-    run_stress, CentralCounter, DiffractingCounter, LockCounter, NetworkCounter, Scenario,
-    SharedCounter, StressConfig, StressReport,
+    run_stress, Batching, CentralCounter, DiffractingCounter, LockCounter, NetworkCounter,
+    Scenario, SharedCounter, StressConfig, StressReport,
 };
 
 /// One row of the matrix: a display name plus a factory producing a fresh
@@ -82,6 +82,8 @@ fn main() {
         Scenario::Bursty { phases: 8 },
         Scenario::Skewed { groups: 2 },
         Scenario::Churn { stagger_micros: if quick { 200 } else { 1_000 } },
+        Scenario::Oscillating { pulses: 8 },
+        Scenario::Pinned { nodes: 2 },
     ];
 
     println!(
@@ -99,8 +101,13 @@ fn main() {
     for subject in &subjects {
         let mut row = vec![subject.name.clone()];
         for scenario in scenarios {
-            let config =
-                StressConfig { threads, ops_per_thread, batch: 1, scenario, record_tokens: false };
+            let config = StressConfig {
+                threads,
+                ops_per_thread,
+                batch: Batching::Fixed(1),
+                scenario,
+                record_tokens: false,
+            };
             let report = run_stress((subject.make)().as_ref(), &config);
             row.push(cell(&report));
             reports.push(report);
@@ -109,7 +116,7 @@ fn main() {
         let batched = StressConfig {
             threads,
             ops_per_thread: ops_per_thread / batch_k as u64,
-            batch: batch_k,
+            batch: Batching::Fixed(batch_k),
             scenario: Scenario::Steady,
             record_tokens: false,
         };
@@ -129,7 +136,7 @@ fn main() {
         let config = StressConfig {
             threads,
             ops_per_thread: ops_per_thread.min(2_048),
-            batch: 1,
+            batch: Batching::Fixed(1),
             scenario: Scenario::Steady,
             record_tokens: true,
         };

@@ -98,6 +98,41 @@ fn exp_stress_quick_prints_tables_and_json() {
 }
 
 #[test]
+fn exp_elimination_quick_prints_tables_and_passes_its_gate() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_elimination"), &["--quick"]);
+    assert!(stdout.lines().any(|l| l.starts_with("| ")), "no Markdown table:\n{stdout}");
+    assert!(stdout.lines().any(|l| l.starts_with("## ")), "no section heading:\n{stdout}");
+    // Demonstration cells (raw mixed-size strides) may report gaps, but
+    // no cell may be BROKEN — the binary exits nonzero then, which
+    // run_quick already rejects; double-check the table text too.
+    assert!(
+        !stdout.lines().any(|l| l.starts_with("| ") && l.contains("BROKEN")),
+        "elimination matrix reported an unexpected violation:\n{stdout}"
+    );
+    // Both tables are present: the rate matrix and the measured-vs-model
+    // arena statistics.
+    assert!(stdout.contains("E14b"), "missing arena statistics table:\n{stdout}");
+    assert!(stdout.contains("model (counting-sim)"), "missing model row:\n{stdout}");
+}
+
+#[test]
+fn exp_elimination_quick_writes_json_file() {
+    let path =
+        std::env::temp_dir().join(format!("exp_elimination_smoke_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_elimination"), &["--quick", "--json", path_str]);
+    assert!(stdout.contains("JSON written to"), "missing file notice:\n{stdout}");
+    let json = std::fs::read_to_string(&path).expect("JSON file written");
+    assert!(json.contains("\"stress\":["), "missing stress reports: {json}");
+    assert!(json.contains("\"arena_measured\":["), "missing measured arena stats: {json}");
+    assert!(json.contains("\"arena_model\":{"), "missing model report: {json}");
+    // The elimination-path reports must be exact; raw mixed-stride
+    // demonstrations may gap but must never duplicate.
+    assert_every_report_has_zero(&json, "duplicates");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn exp_stress_quick_writes_json_file() {
     // Unique per-process path: concurrent test-suite runs on one machine
     // must not race on a shared temp file.

@@ -38,7 +38,11 @@ pub trait SharedCounter: Sync {
     /// the total number of operations is a multiple of the network's
     /// output width (the counting property then delivers equally many
     /// reservations to every output wire). Uniqueness needs no such
-    /// precondition.
+    /// precondition. To hand out gap-free ranges under **mixed** batch
+    /// sizes and arbitrary operation counts, route the counter through
+    /// [`crate::elimination::EliminationCounter`], which replaces stride
+    /// reservations with contiguous [`BlockReserve`] blocks and merges
+    /// colliding requests.
     fn next_batch(&self, thread_id: usize, k: usize, out: &mut Vec<u64>) {
         out.reserve(k);
         for _ in 0..k {
@@ -50,6 +54,35 @@ pub trait SharedCounter: Sync {
     fn describe(&self) -> String;
 }
 
+/// The contiguous-block reservation capability consumed by the
+/// elimination layer ([`crate::elimination::EliminationCounter`]).
+///
+/// One call reserves the exactly-sized block `base..base + k` and returns
+/// `base`. Blocks **tile** the value space: the union of all blocks ever
+/// reserved is `0..total_reserved` at every quiescent point, for *any*
+/// mix of sizes and any number of operations — the guarantee that stride
+/// reservations ([`SharedCounter::next_batch`] on network-backed
+/// counters) only provide for uniform `k` and balanced traversal counts.
+///
+/// The centralized counters implement this with the same state as their
+/// `next` path, so block and per-value operations may be mixed freely on
+/// one instance. The network-backed counters ([`NetworkCounter`],
+/// [`crate::DiffractingCounter`]) pay one structure traversal per block —
+/// preserving the paper's contention-diffusing traffic shape — and then
+/// draw the block from a dedicated contiguous cursor, a *separate* value
+/// stream from their per-wire stride dispensers. On those counters an
+/// instance must be driven either through `next`/`next_batch` or through
+/// `reserve_block`, never both; the elimination layer enforces this by
+/// taking ownership of the counter it wraps.
+pub trait BlockReserve: SharedCounter {
+    /// Reserves the contiguous block `base..base + k` and returns `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    fn reserve_block(&self, thread_id: usize, k: usize) -> u64;
+}
+
 /// A Fetch&Increment counter backed by a counting network: tokens traverse
 /// the compiled network and draw their value from the dispenser `v_i` of
 /// the output wire they exit on (`v_i` starts at `i` and steps by the
@@ -59,6 +92,9 @@ pub struct NetworkCounter {
     name: String,
     network: CompiledNetwork,
     dispensers: Box<[CachePadded<AtomicU64>]>,
+    /// Contiguous cursor backing [`BlockReserve`] — a value stream
+    /// disjoint from the per-wire stride dispensers (see the trait docs).
+    block_cursor: CachePadded<AtomicU64>,
 }
 
 impl NetworkCounter {
@@ -69,7 +105,12 @@ impl NetworkCounter {
         let dispensers = (0..compiled.output_width() as u64)
             .map(|i| CachePadded::new(AtomicU64::new(i)))
             .collect();
-        Self { name: name.into(), network: compiled, dispensers }
+        Self {
+            name: name.into(),
+            network: compiled,
+            dispensers,
+            block_cursor: CachePadded::new(AtomicU64::new(0)),
+        }
     }
 
     /// The input width of the underlying network.
@@ -111,6 +152,21 @@ impl SharedCounter for NetworkCounter {
     }
 }
 
+impl BlockReserve for NetworkCounter {
+    fn reserve_block(&self, thread_id: usize, k: usize) -> u64 {
+        assert!(k > 0, "a block reservation needs at least one value");
+        // One traversal per block keeps the network's contention-diffusing
+        // role (threads are paced through the balancer fabric exactly as
+        // for a stride reservation); the value range itself comes from
+        // the contiguous cursor, which is what makes mixed-size blocks
+        // tile. The elimination layer keeps this cursor cold by merging
+        // colliding requests upstream.
+        let wire = thread_id % self.network.input_width();
+        let _ = self.network.traverse(wire);
+        self.block_cursor.fetch_add(k as u64, Ordering::Relaxed)
+    }
+}
+
 /// The centralized baseline: a single atomic word everybody `fetch_add`s.
 /// Minimal latency, maximal memory contention.
 #[derive(Debug, Default)]
@@ -138,6 +194,14 @@ impl SharedCounter for CentralCounter {
 
     fn describe(&self) -> String {
         "central fetch_add".into()
+    }
+}
+
+impl BlockReserve for CentralCounter {
+    fn reserve_block(&self, _thread_id: usize, k: usize) -> u64 {
+        assert!(k > 0, "a block reservation needs at least one value");
+        // Same word as `next`: blocks and single values mix freely.
+        self.value.fetch_add(k as u64, Ordering::Relaxed)
     }
 }
 
@@ -172,6 +236,16 @@ impl SharedCounter for LockCounter {
 
     fn describe(&self) -> String {
         "mutex counter".into()
+    }
+}
+
+impl BlockReserve for LockCounter {
+    fn reserve_block(&self, _thread_id: usize, k: usize) -> u64 {
+        assert!(k > 0, "a block reservation needs at least one value");
+        let mut guard = self.value.lock();
+        let base = *guard;
+        *guard += k as u64;
+        base
     }
 }
 
@@ -336,6 +410,71 @@ mod tests {
         let mut values = Vec::new();
         counter.next_batch(0, 5, &mut values);
         assert_eq!(values, vec![0, 1, 2, 3, 4]);
+    }
+
+    fn collect_concurrent_blocks<C: BlockReserve>(
+        counter: &C,
+        threads: usize,
+        sizes: &[usize],
+    ) -> Vec<u64> {
+        // Every thread reserves the same mixed-size sequence of blocks;
+        // the union of all blocks must tile 0..m exactly — no uniformity
+        // or divisibility precondition.
+        let all = StdMutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let all = &all;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for &k in sizes {
+                        let base = counter.reserve_block(tid, k);
+                        local.extend(base..base + k as u64);
+                    }
+                    all.lock().expect("poisoned").extend(local);
+                });
+            }
+        });
+        all.into_inner().expect("poisoned")
+    }
+
+    #[test]
+    fn mixed_size_blocks_tile_exactly_on_every_block_counter() {
+        let sizes = [3usize, 1, 7, 2, 5, 4, 1, 6];
+        let net = counting_network(8, 24).expect("valid");
+        let network = NetworkCounter::new("C(8,24)", &net);
+        assert_values_are_exact_range(&collect_concurrent_blocks(&network, 8, &sizes));
+        assert_values_are_exact_range(&collect_concurrent_blocks(
+            &CentralCounter::new(),
+            8,
+            &sizes,
+        ));
+        assert_values_are_exact_range(&collect_concurrent_blocks(&LockCounter::new(), 4, &sizes));
+    }
+
+    #[test]
+    fn central_blocks_share_the_value_stream_with_next() {
+        let counter = CentralCounter::new();
+        let base = counter.reserve_block(0, 5);
+        assert_eq!(base, 0);
+        assert_eq!(counter.next(0), 5, "next continues after the block");
+        assert_eq!(counter.reserve_block(1, 2), 6);
+    }
+
+    #[test]
+    fn network_blocks_are_a_stream_disjoint_from_the_dispensers() {
+        // reserve_block draws from the contiguous cursor, not the per-wire
+        // stride dispensers — a fresh counter's first block starts at 0
+        // regardless of which wire the traversal exits on.
+        let net = counting_network(4, 8).expect("valid");
+        let counter = NetworkCounter::new("C(4,8)", &net);
+        assert_eq!(counter.reserve_block(2, 3), 0);
+        assert_eq!(counter.reserve_block(1, 4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn zero_sized_block_rejected() {
+        let _ = CentralCounter::new().reserve_block(0, 0);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam::utils::CachePadded;
 
-use crate::counter::SharedCounter;
+use crate::counter::{BlockReserve, SharedCounter};
 
 const EMPTY: u64 = 0;
 const WAITING: u64 = 1;
@@ -101,6 +101,9 @@ pub struct DiffractingCounter {
     width: usize,
     spin: usize,
     collisions: AtomicU64,
+    /// Contiguous cursor backing [`BlockReserve`] — a value stream
+    /// disjoint from the per-leaf stride dispensers (see the trait docs).
+    block_cursor: CachePadded<AtomicU64>,
 }
 
 impl DiffractingCounter {
@@ -116,7 +119,14 @@ impl DiffractingCounter {
         assert!(width >= 2 && width.is_power_of_two(), "width must be a power of two >= 2");
         let nodes = (0..width - 1).map(|_| PrismNode::new(prism_size)).collect();
         let dispensers = (0..width as u64).map(|i| CachePadded::new(AtomicU64::new(i))).collect();
-        Self { nodes, dispensers, width, spin, collisions: AtomicU64::new(0) }
+        Self {
+            nodes,
+            dispensers,
+            width,
+            spin,
+            collisions: AtomicU64::new(0),
+            block_cursor: CachePadded::new(AtomicU64::new(0)),
+        }
     }
 
     /// The number of leaves.
@@ -175,6 +185,17 @@ impl SharedCounter for DiffractingCounter {
 
     fn describe(&self) -> String {
         format!("diffracting tree [{}]", self.width)
+    }
+}
+
+impl BlockReserve for DiffractingCounter {
+    fn reserve_block(&self, thread_id: usize, k: usize) -> u64 {
+        assert!(k > 0, "a block reservation needs at least one value");
+        // One descent per block: prism collisions still diffract the
+        // traffic on the way down, while the contiguous cursor makes
+        // mixed-size blocks tile (per-leaf stride dispensers cannot).
+        let _ = self.descend(thread_id);
+        self.block_cursor.fetch_add(k as u64, Ordering::Relaxed)
     }
 }
 
@@ -362,5 +383,31 @@ mod tests {
     #[test]
     fn describe_mentions_the_width() {
         assert!(DiffractingCounter::new(8, 2, 8).describe().contains('8'));
+    }
+
+    #[test]
+    fn concurrent_mixed_size_blocks_tile_exactly() {
+        let counter = DiffractingCounter::new(8, 4, 32);
+        let sizes = [5usize, 1, 3, 8, 2, 6, 4, 7];
+        let all = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for tid in 0..8 {
+                let counter = &counter;
+                let all = &all;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for &k in &sizes {
+                        let base = counter.reserve_block(tid, k);
+                        local.extend(base..base + k as u64);
+                    }
+                    all.lock().expect("not poisoned").extend(local);
+                });
+            }
+        });
+        let values = all.into_inner().expect("not poisoned");
+        let m = values.len() as u64;
+        let set: HashSet<u64> = values.iter().copied().collect();
+        assert_eq!(set.len() as u64, m, "duplicates handed out");
+        assert!(values.iter().all(|&v| v < m), "mixed blocks must tile 0..m");
     }
 }

@@ -1,0 +1,599 @@
+//! Elimination/combining layer: gap-free batched hand-outs for **mixed**
+//! batch sizes.
+//!
+//! The combining fast path ([`SharedCounter::next_batch`]) reserves a
+//! stride of `k` values in one traversal, but its exact-range guarantee
+//! needs every operation to use the same `k` and the operation count to
+//! divide the output width — the counting property balances *traversals*
+//! across output wires, not *values*, so mixed batch sizes leave gaps.
+//! This module removes the restriction with the idea behind elimination
+//! and combining trees (cf. the diffracting tree's prisms in
+//! [`crate::diffracting`]): colliding operations can be **merged and
+//! split without touching the shared structure**.
+//!
+//! [`EliminationCounter`] wraps any [`BlockReserve`] counter with a small
+//! arena of exchanger slots. A `next_batch(k)` caller publishes its
+//! request size in a slot; a second caller arriving at the same slot
+//! *captures* the offer, performs **one** combined reservation for the
+//! summed sizes against the underlying counter (one network traversal for
+//! the sum), and deposits the partner's share back in the slot. The
+//! combined reservation is a contiguous block, so splitting it is
+//! trivially gap-free: the waiter takes the first `k_w` values, the
+//! combiner the rest. A caller that finds no partner within its wait
+//! bound retracts the offer and falls back to a solo reservation on the
+//! underlying counter.
+//!
+//! Because every reservation — merged or solo — is an exactly-sized
+//! contiguous [`BlockReserve::reserve_block`] block, the union of all
+//! values handed out is the exact range `0..m` at every quiescent point,
+//! for **any** mix of batch sizes and **any** operation count. Uniqueness
+//! and gap-freedom need no divisibility precondition anymore.
+//!
+//! The slot protocol is a single atomic word per slot (state tag in the
+//! low bits, payload above), cycling `EMPTY → OFFER(k) → CLAIMED →
+//! FILLED(base) → EMPTY`, in the style of the prism exchanger. A waiter
+//! whose offer is captured right as its wait bound expires is *obligated*:
+//! its partner is already reserving on its behalf, so it waits for the
+//! deposit (bounded by the partner's single reservation, exactly like the
+//! prism's `CAPTURED` state).
+//!
+//! Waiting is **spin-then-yield**: a short spin catches partners that
+//! arrive in parallel on another core, then (on a fraction of timeouts)
+//! a `yield_now` hands the core to a potential partner before one final
+//! spin burst. The yield is what makes the arena effective when runnable
+//! threads outnumber cores (oversubscribed boxes, 1–2 vCPU CI runners):
+//! a spinning waiter owns the core, so no partner can arrive during the
+//! spin — rendezvous would then only ever happen across involuntary
+//! preemption, which is rare at microsecond scales. Offering is also
+//! **adaptive**: successful merges refund offering credit while futile
+//! timeouts drain it, so a workload whose collisions land keeps the
+//! arena hot, and one where they cannot (a lone thread; a scheduler that
+//! declines every yield) quiets down to near-solo fast-path cost, with a
+//! periodic retry to re-detect contention.
+//!
+//! The arena is sized in slots: pairwise collisions serve two threads per
+//! slot, so `threads / 2` slots saturate a steady workload; the default
+//! of [`DEFAULT_SLOTS`] suits the 8-thread torture configurations used
+//! throughout this repository. `counting-sim::elimination` models the
+//! same protocol deterministically, so measured collision rates can be
+//! compared against schedule-controlled predictions.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+use crate::counter::{BlockReserve, SharedCounter};
+
+/// Default number of exchanger slots in the arena.
+pub const DEFAULT_SLOTS: usize = 4;
+/// Default spin bound while waiting for a collision partner (the spin is
+/// followed by one yield and a second spin burst; see the module docs).
+/// Kept small: when the scheduler declines the yield (one-core boxes
+/// where no partner can run anyway), a timed-out offer costs only two
+/// short bursts on top of the solo reservation, keeping the layer at
+/// parity with the raw fast path.
+pub const DEFAULT_SPIN: usize = 16;
+
+const TAG_MASK: u64 = 0b11;
+const EMPTY: u64 = 0b00;
+const OFFER: u64 = 0b01;
+const CLAIMED: u64 = 0b10;
+const FILLED: u64 = 0b11;
+
+/// Packs a payload (an offer's size or a fill's base) with a state tag.
+fn pack(payload: u64, tag: u64) -> u64 {
+    assert!(payload >> 62 == 0, "arena payload exceeds 62 bits");
+    (payload << 2) | tag
+}
+
+/// An elimination/combining layer in front of a [`BlockReserve`] counter.
+///
+/// Implements [`SharedCounter`] (and [`BlockReserve`], so layers compose):
+/// every operation — `next`, `next_batch` with *any* `k` — routes through
+/// the arena and ends in a contiguous block reservation, merged with a
+/// partner's when a collision succeeds. See the module docs for the
+/// protocol and the guarantee.
+///
+/// The layer takes ownership of the counter it wraps: on network-backed
+/// counters the block cursor is a value stream disjoint from the stride
+/// dispensers, and exclusive routing is what keeps the hand-outs
+/// gap-free (see [`BlockReserve`]).
+#[derive(Debug)]
+pub struct EliminationCounter<C: BlockReserve> {
+    inner: C,
+    slots: Box<[CachePadded<AtomicU64>]>,
+    spin: usize,
+    collisions: AtomicU64,
+    fallbacks: AtomicU64,
+    /// Counts first-burst timeouts; every [`YIELD_PERIOD`]-th one yields
+    /// the core (see [`Self::reserve`]).
+    timeout_ticks: CachePadded<AtomicU64>,
+    /// Adaptive offering score: merges replenish it, futile timeouts
+    /// drain it; offers are only published while it is positive (see
+    /// [`Self::should_offer`]).
+    score: CachePadded<AtomicI64>,
+}
+
+/// One in this many timed-out offers yields the core before retracting.
+/// Yielding is what lets a partner run at all when threads outnumber
+/// cores, but it is a syscall (~0.5 µs even when the scheduler declines),
+/// so it is amortized over several offers instead of paid on every one.
+const YIELD_PERIOD: u64 = 8;
+
+/// Initial offering credit: a fresh arena publishes offers for at least
+/// this many futile timeouts before going quiet.
+const INITIAL_SCORE: i64 = 256;
+
+/// Each successful merge refunds this much offering credit to each
+/// partner, so a workload where collisions land keeps the arena hot.
+const MERGE_BONUS: i64 = 32;
+
+/// With the score drained, one in this many solo operations still
+/// publishes an offer, so a quiet arena re-detects partner populations
+/// (e.g. after a burst arrives or the scheduler starts cooperating).
+const OFFER_RETRY_PERIOD: u64 = 64;
+
+impl<C: BlockReserve> EliminationCounter<C> {
+    /// Wraps `inner` with an arena of [`DEFAULT_SLOTS`] slots and a spin
+    /// bound of [`DEFAULT_SPIN`].
+    #[must_use]
+    pub fn new(inner: C) -> Self {
+        Self::with_arena(inner, DEFAULT_SLOTS, DEFAULT_SPIN)
+    }
+
+    /// Wraps `inner` with `slots` exchanger slots and a partner-wait spin
+    /// bound of `spin` iterations per burst (two bursts separated by one
+    /// yield; `spin` of `0` disables offering entirely, so every
+    /// operation either captures an already-published offer or reserves
+    /// solo).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    #[must_use]
+    pub fn with_arena(inner: C, slots: usize, spin: usize) -> Self {
+        assert!(slots > 0, "the arena needs at least one slot");
+        Self {
+            inner,
+            slots: (0..slots).map(|_| CachePadded::new(AtomicU64::new(EMPTY))).collect(),
+            spin,
+            collisions: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            timeout_ticks: CachePadded::new(AtomicU64::new(0)),
+            score: CachePadded::new(AtomicI64::new(INITIAL_SCORE)),
+        }
+    }
+
+    /// The wrapped counter. Do **not** call `next`/`next_batch` on a
+    /// network-backed inner counter while the layer is in use — stride
+    /// dispensers and the block cursor are disjoint value streams.
+    #[must_use]
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwraps the layer, returning the underlying counter.
+    #[must_use]
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// The number of exchanger slots in the arena.
+    #[must_use]
+    pub fn arena_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Operations that merged with a partner (both sides counted, so the
+    /// number of combined reservations is `collisions() / 2`).
+    #[must_use]
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Operations that reserved solo — no partner within the wait bound,
+    /// a busy slot, or a lost capture race.
+    #[must_use]
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// The arena slot a thread probes, spread by a Fibonacci hash so
+    /// consecutive thread ids land on distinct slots.
+    fn slot_of(&self, thread_id: usize) -> &AtomicU64 {
+        &self.slots[thread_id.wrapping_mul(0x9E37_79B9) % self.slots.len()]
+    }
+
+    /// Whether an operation finding an empty slot should publish an
+    /// offer. Offering costs a CAS pair and a bounded wait, which only
+    /// pays off when partners actually arrive — the score tracks that
+    /// (merges refund credit, futile timeouts drain it), and a drained
+    /// arena still retries periodically to notice new contention.
+    fn should_offer(&self) -> bool {
+        self.score.load(Ordering::Relaxed) > 0
+            || self.fallbacks.load(Ordering::Relaxed).is_multiple_of(OFFER_RETRY_PERIOD)
+    }
+
+    /// Credits one side of a successful merge.
+    fn credit_merge(&self) {
+        self.collisions.fetch_add(1, Ordering::Relaxed);
+        self.score.fetch_add(MERGE_BONUS, Ordering::Relaxed);
+    }
+
+    /// Consumes a `FILLED` word: takes the deposited base and recycles the
+    /// slot.
+    fn take_fill(&self, slot: &AtomicU64, word: u64) -> u64 {
+        debug_assert_eq!(word & TAG_MASK, FILLED);
+        slot.store(EMPTY, Ordering::Release);
+        self.credit_merge();
+        word >> 2
+    }
+
+    /// The arena protocol: returns the base of this operation's contiguous
+    /// block of `k` values, merged with a partner's when a collision
+    /// succeeds.
+    fn reserve(&self, thread_id: usize, k: usize) -> u64 {
+        debug_assert!(k > 0);
+        let slot = self.slot_of(thread_id);
+
+        let observed = slot.load(Ordering::Acquire);
+        if observed & TAG_MASK == OFFER {
+            // A partner is waiting: try to capture its offer and combine.
+            if slot.compare_exchange(observed, CLAIMED, Ordering::AcqRel, Ordering::Acquire).is_ok()
+            {
+                let partner_k = (observed >> 2) as usize;
+                // One reservation for the sum; the waiter gets the first
+                // sub-block (it arrived first), we take the rest.
+                let base = self.inner.reserve_block(thread_id, partner_k + k);
+                slot.store(pack(base, FILLED), Ordering::Release);
+                self.credit_merge();
+                return base + partner_k as u64;
+            }
+            // Lost the capture race — reserve solo below.
+        } else if observed == EMPTY && self.spin > 0 && self.should_offer() {
+            // Publish our own offer and wait for a capturer: spin briefly
+            // for a partner running on another core, yield the core once
+            // so a partner can run at all when threads outnumber cores
+            // (spinning alone can never rendezvous there — see the module
+            // docs), then give the returned-from-yield slice one more
+            // spin burst.
+            let offer = pack(k as u64, OFFER);
+            if slot.compare_exchange(EMPTY, offer, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                let mut yielded = false;
+                'wait: loop {
+                    for _ in 0..self.spin {
+                        let word = slot.load(Ordering::Acquire);
+                        if word & TAG_MASK == FILLED {
+                            return self.take_fill(slot, word);
+                        }
+                        std::hint::spin_loop();
+                    }
+                    if yielded {
+                        break 'wait;
+                    }
+                    // Drain offering credit, floored so a long cold phase
+                    // cannot dig a hole that takes hundreds of merges to
+                    // climb out of — re-detection stays O(1).
+                    if self.score.fetch_sub(1, Ordering::Relaxed) <= -INITIAL_SCORE {
+                        self.score.store(-INITIAL_SCORE, Ordering::Relaxed);
+                    }
+                    if !self
+                        .timeout_ticks
+                        .fetch_add(1, Ordering::Relaxed)
+                        .is_multiple_of(YIELD_PERIOD)
+                    {
+                        break 'wait;
+                    }
+                    std::thread::yield_now();
+                    yielded = true;
+                }
+                // Timed out: retract the offer — unless a partner claimed
+                // it concurrently, in which case the combined reservation
+                // is already being made on our behalf and we must take the
+                // deposit (cf. the prism's CAPTURED state).
+                if slot.compare_exchange(offer, EMPTY, Ordering::AcqRel, Ordering::Acquire).is_err()
+                {
+                    let mut spins = 0u32;
+                    loop {
+                        let word = slot.load(Ordering::Acquire);
+                        if word & TAG_MASK == FILLED {
+                            return self.take_fill(slot, word);
+                        }
+                        spins = spins.wrapping_add(1);
+                        if spins.is_multiple_of(1024) {
+                            // The partner holds no lock, but it may be
+                            // preempted mid-reservation; yield rather than
+                            // burn the core.
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                // Retraction succeeded — reserve solo below.
+            }
+            // Lost the publish race — reserve solo below.
+        }
+        // Busy slot, lost race, or timeout: one solo reservation against
+        // the underlying counter keeps the layer obstruction-free.
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.inner.reserve_block(thread_id, k)
+    }
+}
+
+impl<C: BlockReserve> SharedCounter for EliminationCounter<C> {
+    fn next(&self, thread_id: usize) -> u64 {
+        self.reserve(thread_id, 1)
+    }
+
+    fn next_batch(&self, thread_id: usize, k: usize, out: &mut Vec<u64>) {
+        if k == 0 {
+            return;
+        }
+        // Unlike stride reservations, the batch is contiguous:
+        // `base..base + k`.
+        let base = self.reserve(thread_id, k);
+        out.extend(base..base + k as u64);
+    }
+
+    fn describe(&self) -> String {
+        format!("{} + elim[{}]", self.inner.describe(), self.slots.len())
+    }
+}
+
+impl<C: BlockReserve> BlockReserve for EliminationCounter<C> {
+    fn reserve_block(&self, thread_id: usize, k: usize) -> u64 {
+        assert!(k > 0, "a block reservation needs at least one value");
+        self.reserve(thread_id, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{CentralCounter, LockCounter, NetworkCounter};
+    use crate::diffracting::DiffractingCounter;
+    use counting::counting_network;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    fn assert_exact_range(values: &[u64]) {
+        let m = values.len() as u64;
+        let set: HashSet<u64> = values.iter().copied().collect();
+        assert_eq!(set.len() as u64, m, "duplicate values handed out");
+        assert!(values.iter().all(|&v| v < m), "values must tile 0..{m}");
+    }
+
+    // --- deterministic collide / merge / split --------------------------
+
+    #[test]
+    fn parked_waiter_and_capturer_split_one_contiguous_block() {
+        // A waiter parks its offer of 3 (a huge spin bound stands in for a
+        // preempted thread); a second caller captures it with a request of
+        // 5. One combined reservation of 8 must be split gap-free: the
+        // waiter takes 0..3, the capturer 3..8, and the inner cursor moved
+        // exactly once.
+        let counter = EliminationCounter::with_arena(CentralCounter::new(), 1, 2_000_000_000);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let mut out = Vec::new();
+                counter.next_batch(0, 3, &mut out);
+                out
+            });
+            while counter.slots[0].load(Ordering::Acquire) & TAG_MASK != OFFER {
+                std::thread::yield_now();
+            }
+            let mut capturer = Vec::new();
+            counter.next_batch(1, 5, &mut capturer);
+            let waiter = waiter.join().expect("waiter panicked");
+            assert_eq!(waiter, vec![0, 1, 2], "the waiter takes the first sub-block");
+            assert_eq!(capturer, vec![3, 4, 5, 6, 7], "the capturer takes the rest");
+        });
+        assert_eq!(counter.collisions(), 2, "both sides count the merge");
+        assert_eq!(counter.fallbacks(), 0);
+        assert_eq!(counter.slots[0].load(Ordering::Relaxed), EMPTY, "the slot was recycled");
+        assert_eq!(counter.inner().next(0), 8, "exactly one combined reservation of 8");
+    }
+
+    #[test]
+    fn capturing_a_planted_offer_merges_and_deposits_the_first_sub_block() {
+        // Drive the claim path deterministically: plant an OFFER word of
+        // size 4 as if a waiter had parked it, then call with k = 2. The
+        // call must capture, reserve 6 in one block, deposit base 0 for
+        // the "waiter" and keep 4..6 for itself.
+        let counter = EliminationCounter::with_arena(CentralCounter::new(), 1, 64);
+        counter.slots[0].store(pack(4, OFFER), Ordering::Release);
+        let mut out = Vec::new();
+        counter.next_batch(0, 2, &mut out);
+        assert_eq!(out, vec![4, 5], "the capturer's share starts after the waiter's 4");
+        let word = counter.slots[0].load(Ordering::Acquire);
+        assert_eq!(word & TAG_MASK, FILLED, "the waiter's share was deposited");
+        assert_eq!(word >> 2, 0, "the deposited base is the block start");
+        assert_eq!(counter.collisions(), 1, "only the capturer has counted so far");
+        assert_eq!(counter.inner().next(0), 6, "one reservation of 4 + 2");
+    }
+
+    #[test]
+    fn busy_slot_falls_back_to_a_solo_reservation() {
+        // A CLAIMED slot belongs to a pair mid-merge: a third caller must
+        // not interfere — it reserves solo and leaves the word alone.
+        let counter = EliminationCounter::with_arena(CentralCounter::new(), 1, 64);
+        counter.slots[0].store(CLAIMED, Ordering::Release);
+        let mut out = Vec::new();
+        counter.next_batch(0, 3, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(counter.fallbacks(), 1);
+        assert_eq!(counter.collisions(), 0);
+        assert_eq!(counter.slots[0].load(Ordering::Relaxed), CLAIMED, "the slot was not touched");
+    }
+
+    // --- timeout fallback ----------------------------------------------
+
+    #[test]
+    fn no_partner_within_the_wait_bound_retracts_and_reserves_solo() {
+        let counter = EliminationCounter::with_arena(CentralCounter::new(), 1, 3);
+        let mut values = Vec::new();
+        for op in 0..10 {
+            counter.next_batch(op, 2, &mut values);
+        }
+        assert_exact_range(&values);
+        assert_eq!(counter.collisions(), 0, "no partner, no merge");
+        assert_eq!(counter.fallbacks(), 10, "every operation fell back");
+        assert_eq!(counter.slots[0].load(Ordering::Relaxed), EMPTY, "offers were retracted");
+    }
+
+    #[test]
+    fn zero_spin_never_offers_but_still_captures() {
+        // spin = 0: the caller will not wait, but a published offer from
+        // someone else is still capturable. With a planted offer the call
+        // merges; without one it goes straight to solo.
+        let counter = EliminationCounter::with_arena(CentralCounter::new(), 1, 0);
+        let mut solo = Vec::new();
+        counter.next_batch(0, 2, &mut solo);
+        assert_eq!(solo, vec![0, 1]);
+        assert_eq!(counter.fallbacks(), 1);
+        counter.slots[0].store(pack(3, OFFER), Ordering::Release);
+        let mut merged = Vec::new();
+        counter.next_batch(0, 1, &mut merged);
+        assert_eq!(merged, vec![5], "captured the planted offer of 3 after base 2");
+        assert_eq!(counter.collisions(), 1);
+    }
+
+    // --- preemption-hostile schedule ------------------------------------
+
+    #[test]
+    fn preemption_hostile_schedule_preserves_the_exact_range() {
+        // One slot, a wait bound of 1, and threads that park mid-stream
+        // (sleeping stands in for preemption) so offers routinely expire
+        // and retraction races with capture. Whatever mix of merge,
+        // obligated wait and solo fallback results, the mixed-size values
+        // must tile exactly.
+        let net = counting_network(8, 8).expect("valid");
+        let counter = EliminationCounter::with_arena(NetworkCounter::new("C(8,8)", &net), 1, 1);
+        let threads = 8;
+        let per_thread = 400;
+        let all = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let counter = &counter;
+                let all = &all;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for op in 0..per_thread {
+                        counter.next_batch(tid, 1 + (op * 7 + tid) % 5, &mut local);
+                        if op % 64 == tid * 8 {
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                        }
+                    }
+                    all.lock().expect("not poisoned").extend(local);
+                });
+            }
+        });
+        let values = all.into_inner().expect("not poisoned");
+        assert_exact_range(&values);
+        assert_eq!(
+            counter.collisions() + counter.fallbacks(),
+            (threads * per_thread) as u64,
+            "every operation is exactly one of merged or solo"
+        );
+    }
+
+    // --- the lifted restriction, on every counter -----------------------
+
+    #[test]
+    fn mixed_batches_tile_exactly_on_every_wrapped_counter() {
+        // The exact mixed-size workload that breaks raw stride
+        // reservations: random k per op, op count not divisible by any
+        // output width. Through the layer, every counter must hand out
+        // exactly 0..m.
+        type Make = fn() -> Box<dyn SharedCounter>;
+        let make: [Make; 4] = [
+            || {
+                let net = counting_network(8, 24).expect("valid");
+                Box::new(EliminationCounter::new(NetworkCounter::new("C(8,24)", &net)))
+            },
+            || Box::new(EliminationCounter::new(DiffractingCounter::new(8, 4, 32))),
+            || Box::new(EliminationCounter::new(CentralCounter::new())),
+            || Box::new(EliminationCounter::new(LockCounter::new())),
+        ];
+        for factory in make {
+            let counter = factory();
+            let threads = 8;
+            let batches = 101; // deliberately not a multiple of anything
+            let all = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for tid in 0..threads {
+                    let counter = counter.as_ref();
+                    let all = &all;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        for op in 0..batches {
+                            counter.next_batch(tid, 1 + (op * 13 + tid * 5) % 9, &mut local);
+                        }
+                        all.lock().expect("not poisoned").extend(local);
+                    });
+                }
+            });
+            let values = all.into_inner().expect("not poisoned");
+            assert_exact_range(&values);
+        }
+    }
+
+    #[test]
+    fn collisions_happen_under_real_concurrency() {
+        // The spin-then-yield wait makes rendezvous work even when all
+        // threads share one core (see the module docs), so collisions
+        // must show up under genuine multi-threaded load.
+        let counter = EliminationCounter::with_arena(CentralCounter::new(), 4, 64);
+        let all = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for tid in 0..8 {
+                let counter = &counter;
+                let all = &all;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for _ in 0..5_000 {
+                        local.push(counter.next(tid));
+                    }
+                    all.lock().expect("not poisoned").extend(local);
+                });
+            }
+        });
+        assert_exact_range(&all.into_inner().expect("not poisoned"));
+        assert!(counter.collisions() > 0, "8 threads must merge at least sometimes");
+    }
+
+    // --- plumbing --------------------------------------------------------
+
+    #[test]
+    fn next_and_zero_batches_behave() {
+        let counter = EliminationCounter::new(LockCounter::new());
+        let mut out = Vec::new();
+        counter.next_batch(0, 0, &mut out);
+        assert!(out.is_empty(), "k = 0 is a no-op");
+        assert_eq!(counter.next(0), 0);
+        assert_eq!(counter.reserve_block(1, 3), 1, "layers expose BlockReserve themselves");
+        assert_eq!(counter.next(2), 4);
+    }
+
+    #[test]
+    fn describe_names_inner_and_arena() {
+        let counter = EliminationCounter::with_arena(CentralCounter::new(), 2, 8);
+        assert_eq!(counter.describe(), "central fetch_add + elim[2]");
+        assert_eq!(counter.arena_slots(), 2);
+        let inner = counter.into_inner();
+        assert_eq!(inner.describe(), "central fetch_add");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = EliminationCounter::with_arena(CentralCounter::new(), 0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 62 bits")]
+    fn oversized_payloads_are_rejected_not_corrupted() {
+        let _ = pack(1 << 62, OFFER);
+    }
+}

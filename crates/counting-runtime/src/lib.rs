@@ -21,11 +21,17 @@
 //!   reproducing the shape of the paper's throughput comparison
 //!   (experiment E7 in `DESIGN.md`).
 //! * [`stress`] — an adversarial real-thread workload driver (steady,
-//!   bursty, skewed, churn scenarios) with online invariant checking: a
-//!   sharded atomic [`ValueBitmap`] verifies uniqueness and exact-range
-//!   coverage without a mutex-guarded set, and timestamped records are
-//!   fed to `counting-sim`'s linearizability analysis to *measure*
-//!   non-linearizability on real hardware.
+//!   bursty, skewed, churn, oscillating and NUMA-style pinned scenarios)
+//!   with online invariant checking: a sharded atomic [`ValueBitmap`]
+//!   verifies uniqueness and exact-range coverage without a mutex-guarded
+//!   set — reporting the first offending values, not just counts — and
+//!   timestamped records are fed to `counting-sim`'s linearizability
+//!   analysis to *measure* non-linearizability on real hardware.
+//! * [`elimination`] — an elimination/combining arena in front of any
+//!   [`BlockReserve`] counter: colliding `next_batch` callers merge their
+//!   requests into one combined contiguous reservation and split it back
+//!   gap-free, making the exact-range guarantee hold for **mixed** batch
+//!   sizes and arbitrary operation counts.
 //!
 //! Concurrency-correctness notes: every balancer traversal is a single
 //! atomic `fetch_add` (so balancer state transitions are linearizable per
@@ -40,11 +46,13 @@
 pub mod compiled;
 pub mod counter;
 pub mod diffracting;
+pub mod elimination;
 pub mod stress;
 pub mod throughput;
 
 pub use compiled::CompiledNetwork;
-pub use counter::{CentralCounter, LockCounter, NetworkCounter, SharedCounter};
+pub use counter::{BlockReserve, CentralCounter, LockCounter, NetworkCounter, SharedCounter};
 pub use diffracting::DiffractingCounter;
-pub use stress::{run_stress, Scenario, StressConfig, StressReport, ValueBitmap};
+pub use elimination::EliminationCounter;
+pub use stress::{run_stress, Batching, Scenario, StressConfig, StressReport, ValueBitmap};
 pub use throughput::{measure_batched_throughput, measure_throughput, ThroughputMeasurement};

@@ -4,19 +4,26 @@
 //! module is its hardware counterpart: it tortures any [`SharedCounter`]
 //! with real threads under configurable workload [`Scenario`]s — steady
 //! saturation, barrier-aligned bursts, skewed thread-to-wire assignment,
-//! and thread arrival/departure churn — while checking the
-//! Fetch&Increment contract *online*:
+//! thread arrival/departure churn, oscillating thread counts, and
+//! NUMA-style wire pinning — while checking the Fetch&Increment contract
+//! *online*:
 //!
 //! * every issued value is marked in a [`ValueBitmap`] (an array of atomic
 //!   words, one `fetch_or` per value), so duplicates are detected the
 //!   moment they happen and the exact-range property (`0..m` with no gaps
 //!   at quiescence) is verified for millions of operations without a
-//!   mutex-guarded `HashSet`;
+//!   mutex-guarded `HashSet` — and the *first offending values* (not just
+//!   counts) are reported, so a broken run is debuggable from CI logs;
 //! * optionally, every operation is timestamped and the records are fed
 //!   to [`counting_sim::linearizability::violations`], measuring (not
 //!   just asserting) how non-linearizable a counter is on real hardware
 //!   (Section 1.4.2: counting networks trade linearizability for
 //!   throughput).
+//!
+//! Operations are either uniformly batched or, via [`Batching::Mixed`],
+//! drawn from the deterministic mixed-size stream shared with
+//! `counting-sim`'s arena model — the workload that requires the
+//! elimination layer ([`crate::elimination`]) for gap-free hand-outs.
 //!
 //! All scenarios exclude thread start-up from the measured window via a
 //! start barrier, so the reported rates are steady-state.
@@ -87,6 +94,38 @@ impl ValueBitmap {
             self.words.iter().map(|w| u64::from(w.load(Ordering::Relaxed).count_ones())).sum();
         self.capacity - set
     }
+
+    /// The first `limit` values in `0..capacity` not marked yet, in
+    /// ascending order. Exact only at quiescence. This is what makes a
+    /// gap debuggable: *which* values are missing localizes the broken
+    /// reservation (e.g. one dispenser's stride), where a bare count
+    /// cannot.
+    #[must_use]
+    pub fn missing_values(&self, limit: usize) -> Vec<u64> {
+        let mut missing = Vec::new();
+        if limit == 0 {
+            return missing;
+        }
+        'words: for (idx, word) in self.words.iter().enumerate() {
+            let set = word.load(Ordering::Relaxed);
+            if set == u64::MAX {
+                continue;
+            }
+            for bit in 0..64 {
+                let value = idx as u64 * 64 + bit;
+                if value >= self.capacity {
+                    break 'words;
+                }
+                if set & (1 << bit) == 0 {
+                    missing.push(value);
+                    if missing.len() == limit {
+                        break 'words;
+                    }
+                }
+            }
+        }
+        missing
+    }
 }
 
 /// A workload shape for [`run_stress`].
@@ -115,6 +154,26 @@ pub enum Scenario {
         /// Arrival stagger between consecutive threads, in microseconds.
         stagger_micros: u64,
     },
+    /// Oscillating thread counts: the run is divided into barrier-aligned
+    /// pulses in which the two halves of the thread pool alternate — one
+    /// half works while the other blocks at the pulse barrier — so the
+    /// active thread count swings between `threads / 2` and `threads`
+    /// over and over (everyone works the final pulse to drain quotas).
+    /// This is the repeated ramp-up/ramp-down regime that exposes stale
+    /// parked offers in collision layers.
+    Oscillating {
+        /// Number of barrier-aligned pulses (`>= 1`).
+        pulses: usize,
+    },
+    /// NUMA-style wire pinning: the thread pool is split into `nodes`
+    /// contiguous blocks and every thread of a block presents its node id
+    /// as identity, so each "socket"'s threads funnel into one node-local
+    /// input wire while the remaining wires sit idle — maximal per-wire
+    /// pressure with node-local collision partners.
+    Pinned {
+        /// Number of NUMA nodes modeled (`1..=threads`).
+        nodes: usize,
+    },
 }
 
 impl Scenario {
@@ -126,6 +185,59 @@ impl Scenario {
             Scenario::Bursty { phases } => format!("bursty/{phases}"),
             Scenario::Skewed { groups } => format!("skewed/{groups}"),
             Scenario::Churn { stagger_micros } => format!("churn/{stagger_micros}us"),
+            Scenario::Oscillating { pulses } => format!("oscillating/{pulses}"),
+            Scenario::Pinned { nodes } => format!("pinned/{nodes}"),
+        }
+    }
+}
+
+/// How many values each operation obtains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Batching {
+    /// Every operation obtains exactly `k` values: `1` uses
+    /// [`SharedCounter::next`], `k > 1` uses [`SharedCounter::next_batch`].
+    Fixed(usize),
+    /// Every operation draws its size from `1..=max_k`, deterministically
+    /// per thread via [`counting_sim::batch_size_sequence`] — the same
+    /// stream the simulator's arena model replays, so simulated and
+    /// real-hardware runs process identical request sequences. This is
+    /// the workload whose exact-range guarantee needs the elimination
+    /// layer (raw stride reservations leave gaps under mixed sizes).
+    Mixed {
+        /// Largest batch size drawn (sizes are uniform in `1..=max_k`).
+        max_k: usize,
+        /// Seed of the deterministic size stream.
+        seed: u64,
+    },
+}
+
+impl Batching {
+    /// A short stable label used in tables and JSON output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Batching::Fixed(k) => k.to_string(),
+            Batching::Mixed { max_k, .. } => format!("mixed/{max_k}"),
+        }
+    }
+
+    /// The infinite per-thread sequence of operation sizes.
+    fn sizes(&self, thread_id: usize) -> Box<dyn Iterator<Item = usize>> {
+        match *self {
+            Batching::Fixed(k) => Box::new(std::iter::repeat(k)),
+            Batching::Mixed { max_k, seed } => {
+                Box::new(counting_sim::batch_size_sequence(seed, thread_id as u64, max_k))
+            }
+        }
+    }
+
+    /// Total values obtained by one thread over `ops` operations.
+    fn values_per_thread(&self, thread_id: usize, ops: u64) -> u64 {
+        match *self {
+            Batching::Fixed(k) => ops * k as u64,
+            Batching::Mixed { .. } => {
+                self.sizes(thread_id).take(ops as usize).map(|k| k as u64).sum()
+            }
         }
     }
 }
@@ -137,9 +249,9 @@ pub struct StressConfig {
     pub threads: usize,
     /// Operations (calls to `next` or `next_batch`) per thread.
     pub ops_per_thread: u64,
-    /// Values per operation: `1` uses [`SharedCounter::next`], `k > 1`
-    /// uses [`SharedCounter::next_batch`] with batches of `k`.
-    pub batch: usize,
+    /// Values per operation: uniform [`Batching::Fixed`] or the
+    /// deterministic mixed-size stream [`Batching::Mixed`].
+    pub batch: Batching,
     /// The workload shape.
     pub scenario: Scenario,
     /// Whether to timestamp every operation and measure linearizability
@@ -153,13 +265,20 @@ impl StressConfig {
     /// unbatched operations each; invariant checking only.
     #[must_use]
     pub fn steady(threads: usize, ops_per_thread: u64) -> Self {
-        Self { threads, ops_per_thread, batch: 1, scenario: Scenario::Steady, record_tokens: false }
+        Self {
+            threads,
+            ops_per_thread,
+            batch: Batching::Fixed(1),
+            scenario: Scenario::Steady,
+            record_tokens: false,
+        }
     }
 
-    /// The total number of values the run hands out.
+    /// The total number of values the run hands out (for mixed batching,
+    /// computed by replaying the deterministic size streams).
     #[must_use]
     pub fn total_values(&self) -> u64 {
-        self.threads as u64 * self.ops_per_thread * self.batch as u64
+        (0..self.threads).map(|tid| self.batch.values_per_thread(tid, self.ops_per_thread)).sum()
     }
 }
 
@@ -172,19 +291,30 @@ pub struct StressReport {
     pub scenario: String,
     /// Number of threads that drove the counter.
     pub threads: usize,
-    /// Values per operation (`1` = unbatched).
-    pub batch: usize,
-    /// Total values handed out (`threads × ops_per_thread × batch`).
+    /// The batching label (see [`Batching::label`]; `"1"` = unbatched).
+    pub batch: String,
+    /// Total values handed out.
     pub total_values: u64,
     /// Values handed out more than once (must be `0` for a correct
     /// counter).
     pub duplicates: u64,
     /// Values in `0..total_values` never handed out at quiescence (must
     /// be `0` when the run satisfies the range precondition of
-    /// [`SharedCounter::next_batch`]).
+    /// [`SharedCounter::next_batch`] — or unconditionally through the
+    /// elimination layer).
     pub missing: u64,
     /// Values `>= total_values` handed out (must be `0`).
     pub out_of_range: u64,
+    /// The first duplicated values, in hand-out order (at most
+    /// [`OFFENDER_REPORT_LIMIT`]) — which values collided, not just how
+    /// many.
+    pub first_duplicates: Vec<u64>,
+    /// The smallest missing values at quiescence (at most
+    /// [`OFFENDER_REPORT_LIMIT`]) — which part of the range has the gap.
+    pub first_missing: Vec<u64>,
+    /// The first out-of-range values, in hand-out order (at most
+    /// [`OFFENDER_REPORT_LIMIT`]).
+    pub first_out_of_range: Vec<u64>,
     /// Wall-clock seconds of the measured window (start barrier to last
     /// thread done).
     pub elapsed_secs: f64,
@@ -210,20 +340,46 @@ impl StressReport {
     }
 }
 
+/// How many offending values (duplicates, gaps, out-of-range) a
+/// [`StressReport`] retains verbatim. Counts are always exact; only the
+/// listed examples are capped.
+pub const OFFENDER_REPORT_LIMIT: usize = 16;
+
 /// Per-thread bookkeeping shared with the invariant checker.
 struct Inspector<'a> {
     bitmap: &'a ValueBitmap,
     duplicates: AtomicU64,
     out_of_range: AtomicU64,
+    /// First offending values. Mutex-guarded, but only ever touched on
+    /// the (supposedly impossible) failure paths — healthy runs stay
+    /// lock-free.
+    first_duplicates: Mutex<Vec<u64>>,
+    first_out_of_range: Mutex<Vec<u64>>,
 }
 
 impl Inspector<'_> {
     fn check(&self, value: u64) {
         if value >= self.bitmap.capacity() {
-            self.out_of_range.fetch_add(1, Ordering::Relaxed);
+            let seen = self.out_of_range.fetch_add(1, Ordering::Relaxed);
+            record_offender(seen, &self.first_out_of_range, value);
         } else if !self.bitmap.mark(value) {
-            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            let seen = self.duplicates.fetch_add(1, Ordering::Relaxed);
+            record_offender(seen, &self.first_duplicates, value);
         }
+    }
+}
+
+/// Appends `value` to a capped offender list. `seen` is the number of
+/// offenders counted before this one: once the cap is reached the mutex
+/// is never touched again, so a torrent of violations (e.g. the
+/// expected-gaps demonstration runs) does not serialize the workers.
+fn record_offender(seen: u64, list: &Mutex<Vec<u64>>, value: u64) {
+    if seen >= OFFENDER_REPORT_LIMIT as u64 {
+        return;
+    }
+    let mut list = list.lock();
+    if list.len() < OFFENDER_REPORT_LIMIT {
+        list.push(value);
     }
 }
 
@@ -240,18 +396,30 @@ impl Inspector<'_> {
 /// # Panics
 ///
 /// Panics if the configuration is degenerate (no threads, no operations,
-/// batch of zero, a skew of zero groups, or zero bursty phases) or if a
-/// worker thread panics.
+/// a batch of zero, a skew of zero groups, zero bursty phases or
+/// oscillating pulses, or a pinned node count outside `1..=threads`) or
+/// if a worker thread panics.
 #[must_use]
 pub fn run_stress<C: SharedCounter + ?Sized>(counter: &C, config: &StressConfig) -> StressReport {
     assert!(config.threads > 0, "at least one thread is required");
     assert!(config.ops_per_thread > 0, "at least one operation per thread is required");
-    assert!(config.batch > 0, "batch must be at least 1");
-    if let Scenario::Skewed { groups } = config.scenario {
-        assert!(groups > 0, "skew needs at least one identity group");
+    match config.batch {
+        Batching::Fixed(k) => assert!(k > 0, "batch must be at least 1"),
+        Batching::Mixed { max_k, .. } => assert!(max_k > 0, "batch must be at least 1"),
     }
-    if let Scenario::Bursty { phases } = config.scenario {
-        assert!(phases > 0, "bursty needs at least one phase");
+    match config.scenario {
+        Scenario::Skewed { groups } => {
+            assert!(groups > 0, "skew needs at least one identity group");
+        }
+        Scenario::Bursty { phases } => assert!(phases > 0, "bursty needs at least one phase"),
+        Scenario::Oscillating { pulses } => {
+            assert!(pulses > 0, "oscillating needs at least one pulse");
+        }
+        Scenario::Pinned { nodes } => assert!(
+            nodes >= 1 && nodes <= config.threads,
+            "pinning needs between 1 and `threads` nodes"
+        ),
+        Scenario::Steady | Scenario::Churn { .. } => {}
     }
 
     let m = config.total_values();
@@ -260,6 +428,8 @@ pub fn run_stress<C: SharedCounter + ?Sized>(counter: &C, config: &StressConfig)
         bitmap: &bitmap,
         duplicates: AtomicU64::new(0),
         out_of_range: AtomicU64::new(0),
+        first_duplicates: Mutex::new(Vec::new()),
+        first_out_of_range: Mutex::new(Vec::new()),
     };
     let sync = WorkerSync {
         window: MeasuredWindow::new(config.threads),
@@ -289,11 +459,14 @@ pub fn run_stress<C: SharedCounter + ?Sized>(counter: &C, config: &StressConfig)
         counter: counter.describe(),
         scenario: config.scenario.label(),
         threads: config.threads,
-        batch: config.batch,
+        batch: config.batch.label(),
         total_values: m,
         duplicates: inspector.duplicates.load(Ordering::Relaxed),
         missing: bitmap.missing(),
         out_of_range: inspector.out_of_range.load(Ordering::Relaxed),
+        first_duplicates: inspector.first_duplicates.into_inner(),
+        first_missing: bitmap.missing_values(OFFENDER_REPORT_LIMIT),
+        first_out_of_range: inspector.first_out_of_range.into_inner(),
         elapsed_secs,
         values_per_second: m as f64 / elapsed_secs.max(f64::EPSILON),
         linearizability_violations,
@@ -305,6 +478,13 @@ pub fn run_stress<C: SharedCounter + ?Sized>(counter: &C, config: &StressConfig)
 struct WorkerSync {
     window: MeasuredWindow,
     phase_barrier: Barrier,
+}
+
+/// Whether thread `tid` works during an oscillating pulse: the two halves
+/// of the pool alternate, and everyone works the final pulse so the
+/// quotas drain.
+fn oscillating_active(tid: usize, pulse: usize, pulses: usize) -> bool {
+    (pulse + tid).is_multiple_of(2) || pulse + 1 == pulses
 }
 
 /// The body of one stress thread.
@@ -319,14 +499,17 @@ fn run_worker<C: SharedCounter + ?Sized>(
     // The identity presented to the counter (input-wire choice).
     let identity = match config.scenario {
         Scenario::Skewed { groups } => tid % groups,
+        // All threads of a node funnel into the node's wire.
+        Scenario::Pinned { nodes } => tid * nodes / config.threads,
         _ => tid,
     };
     let mut local_records = if config.record_tokens {
-        Vec::with_capacity((config.ops_per_thread * config.batch as u64) as usize)
+        Vec::with_capacity(config.batch.values_per_thread(tid, config.ops_per_thread) as usize)
     } else {
         Vec::new()
     };
-    let mut batch_buf: Vec<u64> = Vec::with_capacity(config.batch);
+    let mut sizes = config.batch.sizes(tid);
+    let mut batch_buf: Vec<u64> = Vec::new();
 
     sync.window.enter();
     if let Scenario::Churn { stagger_micros } = config.scenario {
@@ -337,15 +520,27 @@ fn run_worker<C: SharedCounter + ?Sized>(
     }
 
     let phases = match config.scenario {
-        Scenario::Bursty { phases } => phases as u64,
+        Scenario::Bursty { phases } => phases,
+        Scenario::Oscillating { pulses } => pulses,
         _ => 1,
     };
     let mut remaining = config.ops_per_thread;
     for phase in 0..phases {
-        // Spread the quota over the phases, giving the remainder to the
-        // early bursts.
-        let burst = remaining.div_ceil(phases - phase).min(remaining);
+        // Spread the quota over the phases the thread participates in,
+        // giving the remainder to the early bursts. An oscillating thread
+        // sits out every other pulse (blocked at the pulse barrier), so
+        // the active thread count swings while per-thread quotas drain.
+        let burst = match config.scenario {
+            Scenario::Oscillating { pulses } if !oscillating_active(tid, phase, pulses) => 0,
+            Scenario::Oscillating { pulses } => {
+                let active_left =
+                    (phase..pulses).filter(|&p| oscillating_active(tid, p, pulses)).count() as u64;
+                remaining.div_ceil(active_left).min(remaining)
+            }
+            _ => remaining.div_ceil((phases - phase) as u64).min(remaining),
+        };
         for _ in 0..burst {
+            let batch = sizes.next().expect("size streams are infinite");
             // SeqCst fences pin the counter operation between its two
             // timestamps on weakly ordered hardware: without them a
             // Relaxed fetch_add could become globally visible after the
@@ -359,7 +554,7 @@ fn run_worker<C: SharedCounter + ?Sized>(
             } else {
                 0
             };
-            if config.batch == 1 {
+            if batch == 1 {
                 let value = counter.next(identity);
                 if config.record_tokens {
                     // Take the exit timestamp before the bitmap check so
@@ -375,7 +570,7 @@ fn run_worker<C: SharedCounter + ?Sized>(
                 }
             } else {
                 batch_buf.clear();
-                counter.next_batch(identity, config.batch, &mut batch_buf);
+                counter.next_batch(identity, batch, &mut batch_buf);
                 let exit_time = if config.record_tokens {
                     fence(Ordering::SeqCst);
                     sync.window.nanos()
@@ -397,9 +592,9 @@ fn run_worker<C: SharedCounter + ?Sized>(
         }
         remaining -= burst;
         if phase + 1 < phases {
-            // Align the next burst across all threads (no rendezvous
-            // after the last burst — it would only stretch the measured
-            // window to the slowest thread plus a barrier wake).
+            // Align the next burst or pulse across all threads (no
+            // rendezvous after the last one — it would only stretch the
+            // measured window to the slowest thread plus a barrier wake).
             sync.phase_barrier.wait();
         }
     }
@@ -416,6 +611,7 @@ mod tests {
     use super::*;
     use crate::counter::{CentralCounter, LockCounter, NetworkCounter};
     use crate::diffracting::DiffractingCounter;
+    use crate::elimination::EliminationCounter;
     use counting::counting_network;
 
     #[test]
@@ -439,6 +635,23 @@ mod tests {
     #[should_panic(expected = "outside bitmap capacity")]
     fn bitmap_rejects_values_beyond_capacity() {
         let _ = ValueBitmap::new(10).mark(10);
+    }
+
+    #[test]
+    fn bitmap_reports_which_values_are_missing() {
+        let bitmap = ValueBitmap::new(200);
+        for v in 0..200 {
+            if v != 3 && v != 64 && v != 199 {
+                let _ = bitmap.mark(v);
+            }
+        }
+        assert_eq!(bitmap.missing_values(16), vec![3, 64, 199]);
+        assert_eq!(bitmap.missing_values(2), vec![3, 64], "the limit caps the listing");
+        assert_eq!(bitmap.missing_values(0), Vec::<u64>::new());
+        let _ = bitmap.mark(3);
+        let _ = bitmap.mark(64);
+        let _ = bitmap.mark(199);
+        assert!(bitmap.missing_values(16).is_empty());
     }
 
     #[test]
@@ -472,6 +685,8 @@ mod tests {
             Scenario::Bursty { phases: 4 },
             Scenario::Skewed { groups: 2 },
             Scenario::Churn { stagger_micros: 100 },
+            Scenario::Oscillating { pulses: 4 },
+            Scenario::Pinned { nodes: 2 },
         ];
         for factory in make {
             for scenario in scenarios {
@@ -479,7 +694,7 @@ mod tests {
                 let config = StressConfig {
                     threads: 8,
                     ops_per_thread: 120,
-                    batch: 1,
+                    batch: Batching::Fixed(1),
                     scenario,
                     record_tokens: false,
                 };
@@ -503,7 +718,7 @@ mod tests {
         let config = StressConfig {
             threads: 8,
             ops_per_thread: 16,
-            batch: 6,
+            batch: Batching::Fixed(6),
             scenario: Scenario::Steady,
             record_tokens: false,
         };
@@ -521,7 +736,7 @@ mod tests {
         let config = StressConfig {
             threads: 8,
             ops_per_thread: 300,
-            batch: 1,
+            batch: Batching::Fixed(1),
             scenario: Scenario::Steady,
             record_tokens: true,
         };
@@ -563,14 +778,115 @@ mod tests {
         assert!(report.duplicates > 0, "{report:?}");
         assert!(report.out_of_range > 0, "{report:?}");
         assert!(report.missing > 0, "{report:?}");
+        // The offenders themselves are named (capped), not just counted.
+        assert!(!report.first_duplicates.is_empty());
+        assert!(report.first_duplicates.len() <= OFFENDER_REPORT_LIMIT);
+        assert!(report.first_duplicates.iter().all(|&v| v <= 1), "only 0 and 1 repeat");
+        assert_eq!(report.first_out_of_range, vec![u64::MAX; report.first_out_of_range.len()]);
+        assert!(!report.first_out_of_range.is_empty());
+        assert!(report.first_missing.first().is_some_and(|&v| v >= 2), "0 and 1 were handed out");
     }
 
     #[test]
-    fn scenario_labels_are_stable() {
+    fn scenario_and_batching_labels_are_stable() {
         assert_eq!(Scenario::Steady.label(), "steady");
         assert_eq!(Scenario::Bursty { phases: 4 }.label(), "bursty/4");
         assert_eq!(Scenario::Skewed { groups: 2 }.label(), "skewed/2");
         assert_eq!(Scenario::Churn { stagger_micros: 100 }.label(), "churn/100us");
+        assert_eq!(Scenario::Oscillating { pulses: 6 }.label(), "oscillating/6");
+        assert_eq!(Scenario::Pinned { nodes: 2 }.label(), "pinned/2");
+        assert_eq!(Batching::Fixed(1).label(), "1");
+        assert_eq!(Batching::Fixed(8).label(), "8");
+        assert_eq!(Batching::Mixed { max_k: 32, seed: 7 }.label(), "mixed/32");
+    }
+
+    #[test]
+    fn mixed_batching_totals_replay_the_shared_stream() {
+        let batch = Batching::Mixed { max_k: 8, seed: 11 };
+        let config = StressConfig { batch, ..StressConfig::steady(4, 50) };
+        let by_hand: u64 = (0..4)
+            .map(|tid| {
+                counting_sim::batch_size_sequence(11, tid, 8)
+                    .take(50)
+                    .map(|k| k as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(config.total_values(), by_hand);
+        // Sanity: genuinely mixed, not accidentally constant.
+        let sizes: Vec<usize> = counting_sim::batch_size_sequence(11, 0, 8).take(50).collect();
+        assert!(sizes.iter().any(|&k| k != sizes[0]));
+    }
+
+    #[test]
+    fn mixed_batches_through_the_elimination_layer_verify_exact_range() {
+        // The headline workload: random batch sizes, an op count with no
+        // divisibility relationship to the output width — through the
+        // elimination layer the range check must hold unconditionally.
+        let net = counting_network(8, 8).expect("valid");
+        let counter = EliminationCounter::new(NetworkCounter::new("C(8,8)", &net));
+        let config = StressConfig {
+            threads: 8,
+            ops_per_thread: 123,
+            batch: Batching::Mixed { max_k: 16, seed: 3 },
+            scenario: Scenario::Steady,
+            record_tokens: false,
+        };
+        let report = run_stress(&counter, &config);
+        assert!(report.is_exact_range(), "{report:?}");
+        assert_eq!(report.batch, "mixed/16");
+    }
+
+    #[test]
+    fn mixed_batches_on_raw_stride_reservations_leave_reported_gaps() {
+        // The caveat the layer exists for, demonstrated deterministically
+        // (one thread, so traversal order is fixed): mixed-size stride
+        // reservations do not tile, and the report now names the first
+        // missing values instead of only counting them.
+        let net = counting_network(4, 4).expect("valid");
+        let counter = NetworkCounter::new("C(4,4)", &net);
+        let config = StressConfig {
+            threads: 1,
+            ops_per_thread: 40,
+            batch: Batching::Mixed { max_k: 8, seed: 5 },
+            scenario: Scenario::Steady,
+            record_tokens: false,
+        };
+        let report = run_stress(&counter, &config);
+        assert!(report.missing > 0, "mixed strides should gap: {report:?}");
+        assert!(!report.first_missing.is_empty());
+        assert!(report.first_missing.len() <= OFFENDER_REPORT_LIMIT);
+        assert!(report.first_missing.iter().all(|&v| v < report.total_values));
+    }
+
+    #[test]
+    fn oscillating_and_pinned_runs_complete_their_quotas() {
+        let counter = CentralCounter::new();
+        let config = StressConfig {
+            scenario: Scenario::Oscillating { pulses: 7 },
+            ..StressConfig::steady(8, 100)
+        };
+        let report = run_stress(&counter, &config);
+        assert!(report.is_exact_range(), "{report:?}");
+        assert_eq!(report.scenario, "oscillating/7");
+
+        let net = counting_network(8, 8).expect("valid");
+        let counter = NetworkCounter::new("C(8,8)", &net);
+        let config = StressConfig {
+            scenario: Scenario::Pinned { nodes: 2 },
+            ..StressConfig::steady(8, 100)
+        };
+        let report = run_stress(&counter, &config);
+        assert!(report.is_exact_range(), "{report:?}");
+        assert_eq!(report.scenario, "pinned/2");
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and `threads` nodes")]
+    fn pinned_rejects_more_nodes_than_threads() {
+        let config =
+            StressConfig { scenario: Scenario::Pinned { nodes: 9 }, ..StressConfig::steady(8, 10) };
+        let _ = run_stress(&CentralCounter::new(), &config);
     }
 
     #[test]
@@ -591,7 +907,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "batch must be at least 1")]
     fn zero_batch_rejected() {
-        let config = StressConfig { batch: 0, ..StressConfig::steady(1, 1) };
+        let config = StressConfig { batch: Batching::Fixed(0), ..StressConfig::steady(1, 1) };
         let _ = run_stress(&CentralCounter::new(), &config);
     }
 }

@@ -23,6 +23,11 @@
 //!   crowded balancer.
 //! * [`contention`] offers sweep helpers producing serializable result rows
 //!   used by the benchmark harness to regenerate the paper's comparisons.
+//! * [`elimination`] models the elimination/combining arena that
+//!   `counting-runtime` places in front of a counter, predicting collision
+//!   rates and combining factors for comparison against real-hardware
+//!   measurements, and hosts the deterministic mixed-batch-size stream
+//!   shared with the stress harness.
 //!
 //! The simulator also verifies Fetch&Increment semantics: in a counting
 //! network the values handed out on the output wires form exactly the range
@@ -31,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod contention;
+pub mod elimination;
 pub mod linearizability;
 pub mod report;
 pub mod scheduler;
 pub mod sim;
 
 pub use contention::{measure_contention, sweep_concurrency, ContentionPoint};
+pub use elimination::{batch_size_sequence, simulate_arena, ArenaConfig, ArenaReport};
 pub use linearizability::{is_linearizable, violations, Violation};
 pub use report::{ContentionReport, FetchIncrementOutcome, TokenRecord};
 pub use scheduler::{GreedyHotspot, RandomScheduler, RoundRobin, Scheduler, SchedulerKind};

@@ -18,8 +18,11 @@ use counting_networks::net::{
     assign_counter_values, balancer_step_output, is_k_smooth, is_step, quiescent_output,
     step_sequence, TokenExecutor,
 };
-use counting_networks::runtime::stress::{run_stress, Scenario, StressConfig};
-use counting_networks::runtime::NetworkCounter;
+use counting_networks::runtime::stress::{run_stress, Batching, Scenario, StressConfig};
+use counting_networks::runtime::{
+    CentralCounter, DiffractingCounter, EliminationCounter, LockCounter, NetworkCounter,
+    SharedCounter,
+};
 use counting_networks::sorting::ComparatorNetwork;
 use proptest::prelude::*;
 
@@ -156,7 +159,7 @@ proptest! {
         let config = StressConfig {
             threads: 8,
             ops_per_thread,
-            batch,
+            batch: Batching::Fixed(batch),
             scenario: Scenario::Steady,
             record_tokens: false,
         };
@@ -165,6 +168,62 @@ proptest! {
             report.is_exact_range(),
             "C({},{}) ops={} batch={}: {:?}", w, t, ops_per_thread, batch, report
         );
+    }
+
+    #[test]
+    fn mixed_batches_through_elimination_hand_out_the_exact_range(
+        // Random per-thread batch-size sequences, mixed k ∈ 1..=32 — the
+        // workload whose exact-range guarantee raw stride reservations
+        // cannot provide. Every counter, routed through the elimination
+        // layer, must hand out exactly 0..m; shrinking finds the minimal
+        // offending size mix if the split logic ever regresses.
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(1usize..=32, 0..6),
+            8,
+        ),
+        slots in 1usize..=4,
+        spin in 0usize..=256,
+    ) {
+        type Make = fn(usize, usize) -> Box<dyn SharedCounter + Send + Sync>;
+        let make: [(&str, Make); 4] = [
+            ("C(4,8)", |s, p| {
+                let net = counting_network(4, 8).expect("valid");
+                Box::new(EliminationCounter::with_arena(NetworkCounter::new("C(4,8)", &net), s, p))
+            }),
+            ("difftree", |s, p| {
+                Box::new(EliminationCounter::with_arena(DiffractingCounter::new(4, 2, 16), s, p))
+            }),
+            ("central", |s, p| Box::new(EliminationCounter::with_arena(CentralCounter::new(), s, p))),
+            ("mutex", |s, p| Box::new(EliminationCounter::with_arena(LockCounter::new(), s, p))),
+        ];
+        let m: u64 = per_thread.iter().flatten().map(|&k| k as u64).sum();
+        for (name, factory) in make {
+            // The arena geometry is part of the explored space.
+            let counter = factory(slots, spin);
+            let values = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for (tid, sizes) in per_thread.iter().enumerate() {
+                    let counter = counter.as_ref();
+                    let values = &values;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        for &k in sizes {
+                            counter.next_batch(tid, k, &mut local);
+                        }
+                        values.lock().expect("poisoned").extend(local);
+                    });
+                }
+            });
+            let mut values = values.into_inner().expect("poisoned");
+            values.sort_unstable();
+            prop_assert_eq!(
+                &values,
+                &(0..m).collect::<Vec<_>>(),
+                "{} handed out a broken range for sizes {:?}",
+                name,
+                per_thread
+            );
+        }
     }
 
     #[test]

@@ -4,18 +4,21 @@
 //!
 //! Every cell of the matrix drives ≥ 8 real threads and verifies that the
 //! handed-out values are exactly `0..m` — no duplicates, no gaps, nothing
-//! out of range — and the batched fast path (`next_batch`) is exercised
-//! under the same torture. `STRESS_TORTURE_OPS` scales the per-thread
-//! operation count (CI runs with a small value to keep tier-1 fast).
+//! out of range — and both the batched fast path (`next_batch`) and the
+//! mixed-batch-size elimination layer are exercised under the same
+//! torture. `STRESS_TORTURE_OPS` scales the per-thread operation count
+//! (CI runs tier-1 with a small value to keep it fast; the nightly
+//! torture job raises it).
 
 use counting_networks::baseline::{
     bitonic_counting_network, diffracting_tree, periodic_counting_network,
 };
 use counting_networks::efficient::counting_network;
 use counting_networks::net::Network;
-use counting_networks::runtime::stress::{run_stress, Scenario, StressConfig};
+use counting_networks::runtime::stress::{run_stress, Batching, Scenario, StressConfig};
 use counting_networks::runtime::{
-    CentralCounter, DiffractingCounter, LockCounter, NetworkCounter, SharedCounter,
+    CentralCounter, DiffractingCounter, EliminationCounter, LockCounter, NetworkCounter,
+    SharedCounter,
 };
 
 const THREADS: usize = 8;
@@ -28,12 +31,14 @@ fn ops_scale() -> u64 {
     std::env::var("STRESS_TORTURE_OPS").ok().and_then(|s| s.parse().ok()).unwrap_or(25)
 }
 
-fn scenarios() -> [Scenario; 4] {
+fn scenarios() -> [Scenario; 6] {
     [
         Scenario::Steady,
         Scenario::Bursty { phases: 6 },
         Scenario::Skewed { groups: 2 },
         Scenario::Churn { stagger_micros: 200 },
+        Scenario::Oscillating { pulses: 6 },
+        Scenario::Pinned { nodes: 2 },
     ]
 }
 
@@ -68,7 +73,7 @@ fn torture_matrix_unbatched_hands_out_the_exact_range() {
             let config = StressConfig {
                 threads: THREADS,
                 ops_per_thread,
-                batch: 1,
+                batch: Batching::Fixed(1),
                 scenario,
                 record_tokens: false,
             };
@@ -94,7 +99,7 @@ fn torture_matrix_batched_hands_out_the_exact_range() {
             let config = StressConfig {
                 threads: THREADS,
                 ops_per_thread,
-                batch: 4,
+                batch: Batching::Fixed(4),
                 scenario,
                 record_tokens: false,
             };
@@ -105,6 +110,60 @@ fn torture_matrix_batched_hands_out_the_exact_range() {
                 scenario.label()
             );
             assert_eq!(report.total_values, THREADS as u64 * ops_per_thread * 4);
+        }
+    }
+}
+
+/// The four counters of the elimination matrix, each wrapped in the
+/// arena layer (fresh per run).
+fn elimination_counters() -> Vec<CounterFactory> {
+    vec![
+        (
+            "C(8,24)+elim".to_owned(),
+            Box::new(|| {
+                let net = counting_network(8, 24).expect("valid");
+                Box::new(EliminationCounter::new(NetworkCounter::new("C(8,24)", &net)))
+            }),
+        ),
+        (
+            "prism DiffTree[8]+elim".to_owned(),
+            Box::new(|| Box::new(EliminationCounter::new(DiffractingCounter::new(8, 4, 64)))),
+        ),
+        (
+            "central+elim".to_owned(),
+            Box::new(|| Box::new(EliminationCounter::new(CentralCounter::new()))),
+        ),
+        (
+            "mutex+elim".to_owned(),
+            Box::new(|| Box::new(EliminationCounter::new(LockCounter::new()))),
+        ),
+    ]
+}
+
+#[test]
+fn torture_matrix_mixed_batches_through_elimination_hand_out_the_exact_range() {
+    // The restriction-lifting matrix: 8 threads, *random* batch sizes
+    // (`1..=8`, per-thread deterministic streams), an op count with no
+    // divisibility relationship to any output width, all four counters,
+    // all six scenarios. Through the elimination layer the uniqueness and
+    // exact-range online checks must pass unconditionally.
+    let ops_per_thread = 24 * ops_scale() + 7; // deliberately not a multiple of anything
+    for (name, make) in elimination_counters() {
+        for scenario in scenarios() {
+            let config = StressConfig {
+                threads: THREADS,
+                ops_per_thread,
+                batch: Batching::Mixed { max_k: 8, seed: 0xE11A },
+                scenario,
+                record_tokens: false,
+            };
+            let report = run_stress(make().as_ref(), &config);
+            assert!(
+                report.is_exact_range(),
+                "{name} with mixed batches under {} broke the counting contract: {report:?}",
+                scenario.label()
+            );
+            assert_eq!(report.total_values, config.total_values());
         }
     }
 }
@@ -122,7 +181,7 @@ fn centralized_counters_are_linearizable_on_real_hardware() {
         let config = StressConfig {
             threads: THREADS,
             ops_per_thread,
-            batch: 1,
+            batch: Batching::Fixed(1),
             scenario: Scenario::Steady,
             record_tokens: true,
         };
@@ -147,7 +206,7 @@ fn network_counters_report_a_linearizability_measurement() {
     let config = StressConfig {
         threads: THREADS,
         ops_per_thread: 24 * ops_scale(),
-        batch: 1,
+        batch: Batching::Fixed(1),
         scenario: Scenario::Bursty { phases: 4 },
         record_tokens: true,
     };
@@ -164,7 +223,7 @@ fn skew_extremes_funnel_every_thread_onto_one_wire() {
     let config = StressConfig {
         threads: THREADS,
         ops_per_thread: 24 * ops_scale(),
-        batch: 1,
+        batch: Batching::Fixed(1),
         scenario: Scenario::Skewed { groups: 1 },
         record_tokens: false,
     };
@@ -180,7 +239,7 @@ fn churn_with_wide_stagger_still_counts_exactly() {
     let config = StressConfig {
         threads: THREADS,
         ops_per_thread: 24 * ops_scale().min(10),
-        batch: 1,
+        batch: Batching::Fixed(1),
         scenario: Scenario::Churn { stagger_micros: 2_000 },
         record_tokens: false,
     };
