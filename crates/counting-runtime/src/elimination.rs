@@ -37,42 +37,78 @@
 //! deposit (bounded by the partner's single reservation, exactly like the
 //! prism's `CAPTURED` state).
 //!
-//! Waiting is **spin-then-yield**: a short spin catches partners that
-//! arrive in parallel on another core, then (on a fraction of timeouts)
-//! a `yield_now` hands the core to a potential partner before one final
-//! spin burst. The yield is what makes the arena effective when runnable
-//! threads outnumber cores (oversubscribed boxes, 1–2 vCPU CI runners):
-//! a spinning waiter owns the core, so no partner can arrive during the
-//! spin — rendezvous would then only ever happen across involuntary
-//! preemption, which is rare at microsecond scales. Offering is also
-//! **adaptive**: successful merges refund offering credit while futile
-//! timeouts drain it, so a workload whose collisions land keeps the
-//! arena hot, and one where they cannot (a lone thread; a scheduler that
-//! declines every yield) quiets down to near-solo fast-path cost, with a
-//! periodic retry to re-detect contention.
+//! # Waiting strategies
+//!
+//! *How* the publisher of an offer waits for a partner is pluggable — a
+//! [`WaitStrategy`] chosen per arena (see [`crate::waiting`] for the full
+//! trade-off discussion):
+//!
+//! * [`WaitStrategy::Spin`] busy-waits only — right when every thread
+//!   owns a core and partners genuinely run in parallel;
+//! * [`WaitStrategy::SpinYield`] (the default) adds one amortized
+//!   `yield_now` and a second spin burst — a best-effort hedge that the
+//!   scheduler may decline, so on an oversubscribed box most offers still
+//!   expire unclaimed;
+//! * [`WaitStrategy::Park`] sleeps on a `parking_lot`-backed
+//!   [`crate::waiting::ParkTable`] seat keyed by the arena slot, and the
+//!   claimer wakes the sleeper right after depositing `FILLED(base)` —
+//!   the robust choice when runnable threads outnumber cpus, because the
+//!   publisher *surrenders* its core to the potential partner instead of
+//!   hoping the scheduler hands it over.
+//!
+//! Offering is **adaptive** regardless of strategy: successful merges
+//! refund offering credit while futile timeouts drain it (parked
+//! timeouts drain faster — they cost a sleep, not just a spin burst), so
+//! a workload whose collisions land keeps the arena hot, and one where
+//! they cannot quiets down to near-solo fast-path cost, with a periodic
+//! retry to re-detect contention.
+//!
+//! # Multi-slot probing
+//!
+//! Each operation owns a *home* slot (a Fibonacci hash of its thread id)
+//! and probes a window of up to [`EliminationConfig::probe`] adjacent
+//! slots: the capture scan claims the first published offer it finds, and
+//! a publisher whose home slot is busy spills its offer into the next
+//! empty slot of the window. The window width is driven by the same
+//! merge-credit score that gates offering — while credit is high
+//! (collisions land in home slots) the window stays at 1 and the fast
+//! path costs a single load; as futile timeouts drain the credit the
+//! window widens toward the configured maximum, trading a few extra loads
+//! for a better chance of meeting a partner parked one slot over.
 //!
 //! The arena is sized in slots: pairwise collisions serve two threads per
 //! slot, so `threads / 2` slots saturate a steady workload; the default
 //! of [`DEFAULT_SLOTS`] suits the 8-thread torture configurations used
 //! throughout this repository. `counting-sim::elimination` models the
-//! same protocol deterministically, so measured collision rates can be
-//! compared against schedule-controlled predictions.
+//! same protocol deterministically — including parked waiters, as offers
+//! that skip rounds instead of losing patience — so measured collision
+//! rates can be compared against schedule-controlled predictions.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
 
 use crossbeam::utils::CachePadded;
 
 use crate::counter::{BlockReserve, SharedCounter};
+use crate::waiting::{ParkTable, WaitStrategy};
 
 /// Default number of exchanger slots in the arena.
 pub const DEFAULT_SLOTS: usize = 4;
-/// Default spin bound while waiting for a collision partner (the spin is
-/// followed by one yield and a second spin burst; see the module docs).
-/// Kept small: when the scheduler declines the yield (one-core boxes
-/// where no partner can run anyway), a timed-out offer costs only two
-/// short bursts on top of the solo reservation, keeping the layer at
-/// parity with the raw fast path.
+/// Default spin bound while waiting for a collision partner (the bound of
+/// one spin burst; what follows a fruitless burst is the
+/// [`WaitStrategy`]'s business). Kept small: a timed-out offer must cost
+/// only short bursts on top of the solo reservation, keeping the layer at
+/// parity with the raw fast path when no partner ever shows up.
 pub const DEFAULT_SPIN: usize = 16;
+/// Default maximum probe window: how many adjacent slots an operation is
+/// willing to scan for a partner (and to spill its offer into) once the
+/// merge-credit score says home-slot collisions are not landing.
+pub const DEFAULT_PROBE: usize = 2;
+/// Default time a [`WaitStrategy::Park`] offer sleeps before retracting.
+/// Sized to cover a few scheduler timeslices on an oversubscribed box —
+/// the partner must get scheduled *and* reach the arena within this
+/// window for the rendezvous to land.
+pub const DEFAULT_PARK_TIMEOUT: Duration = Duration::from_millis(3);
 
 const TAG_MASK: u64 = 0b11;
 const EMPTY: u64 = 0b00;
@@ -86,13 +122,57 @@ fn pack(payload: u64, tag: u64) -> u64 {
     (payload << 2) | tag
 }
 
+/// Geometry and waiting policy of one elimination arena, consumed by
+/// [`EliminationCounter::with_config`].
+///
+/// The `..Default::default()` idiom keeps call sites readable:
+///
+/// ```
+/// use counting_runtime::{EliminationConfig, WaitStrategy};
+///
+/// let config = EliminationConfig { strategy: WaitStrategy::Park, ..EliminationConfig::default() };
+/// assert_eq!(config.slots, counting_runtime::elimination::DEFAULT_SLOTS);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EliminationConfig {
+    /// Number of exchanger slots ([`DEFAULT_SLOTS`]; must be `> 0`).
+    pub slots: usize,
+    /// Iterations of one partner-wait spin burst ([`DEFAULT_SPIN`]; `0`
+    /// disables offering entirely, so every operation either captures an
+    /// already-published offer or reserves solo).
+    pub spin: usize,
+    /// How a published offer waits for its partner (default
+    /// [`WaitStrategy::SpinYield`]).
+    pub strategy: WaitStrategy,
+    /// Maximum probe window in slots ([`DEFAULT_PROBE`]; must be `> 0`,
+    /// values beyond `slots` are clamped). The *effective* window adapts
+    /// between `1` and this bound with the merge-credit score (see the
+    /// module docs).
+    pub probe: usize,
+    /// How long a [`WaitStrategy::Park`] offer sleeps before retracting
+    /// ([`DEFAULT_PARK_TIMEOUT`]; ignored by the spinning strategies).
+    pub park_timeout: Duration,
+}
+
+impl Default for EliminationConfig {
+    fn default() -> Self {
+        Self {
+            slots: DEFAULT_SLOTS,
+            spin: DEFAULT_SPIN,
+            strategy: WaitStrategy::default(),
+            probe: DEFAULT_PROBE,
+            park_timeout: DEFAULT_PARK_TIMEOUT,
+        }
+    }
+}
+
 /// An elimination/combining layer in front of a [`BlockReserve`] counter.
 ///
 /// Implements [`SharedCounter`] (and [`BlockReserve`], so layers compose):
 /// every operation — `next`, `next_batch` with *any* `k` — routes through
 /// the arena and ends in a contiguous block reservation, merged with a
 /// partner's when a collision succeeds. See the module docs for the
-/// protocol and the guarantee.
+/// protocol, the waiting strategies and the guarantee.
 ///
 /// The layer takes ownership of the counter it wraps: on network-backed
 /// counters the block cursor is a value stream disjoint from the stride
@@ -102,31 +182,43 @@ fn pack(payload: u64, tag: u64) -> u64 {
 pub struct EliminationCounter<C: BlockReserve> {
     inner: C,
     slots: Box<[CachePadded<AtomicU64>]>,
-    spin: usize,
+    config: EliminationConfig,
+    /// Parking seats for [`WaitStrategy::Park`], one per slot (allocated
+    /// unconditionally — a seat is two pointer-sized primitives — so the
+    /// strategy never changes the arena's shape).
+    parking: ParkTable,
     collisions: AtomicU64,
     fallbacks: AtomicU64,
-    /// Counts first-burst timeouts; every [`YIELD_PERIOD`]-th one yields
-    /// the core (see [`Self::reserve`]).
+    /// Counts first-burst timeouts; [`WaitStrategy::SpinYield`] yields
+    /// the core on every [`YIELD_PERIOD`]-th one (see [`Self::reserve`]).
     timeout_ticks: CachePadded<AtomicU64>,
     /// Adaptive offering score: merges replenish it, futile timeouts
     /// drain it; offers are only published while it is positive (see
-    /// [`Self::should_offer`]).
+    /// [`Self::should_offer`]) and the probe window widens as it drains
+    /// (see [`Self::probe_window`]).
     score: CachePadded<AtomicI64>,
 }
 
-/// One in this many timed-out offers yields the core before retracting.
-/// Yielding is what lets a partner run at all when threads outnumber
-/// cores, but it is a syscall (~0.5 µs even when the scheduler declines),
-/// so it is amortized over several offers instead of paid on every one.
+/// One in this many timed-out [`WaitStrategy::SpinYield`] offers yields
+/// the core before retracting. Yielding is what lets a partner run at all
+/// when threads outnumber cores, but it is a syscall (~0.5 µs even when
+/// the scheduler declines), so it is amortized over several offers
+/// instead of paid on every one.
 const YIELD_PERIOD: u64 = 8;
 
 /// Initial offering credit: a fresh arena publishes offers for at least
-/// this many futile timeouts before going quiet.
+/// this many futile spin timeouts before going quiet.
 const INITIAL_SCORE: i64 = 256;
 
 /// Each successful merge refunds this much offering credit to each
 /// partner, so a workload where collisions land keeps the arena hot.
 const MERGE_BONUS: i64 = 32;
+
+/// How much offering credit one futile *parked* timeout drains. A parked
+/// miss costs a whole [`EliminationConfig::park_timeout`] sleep where a
+/// spinning miss costs a burst of loads, so the arena must conclude much
+/// sooner that nobody is coming.
+const PARK_TIMEOUT_PENALTY: i64 = 16;
 
 /// With the score drained, one in this many solo operations still
 /// publishes an offer, so a quiet arena re-detects partner populations
@@ -134,29 +226,39 @@ const MERGE_BONUS: i64 = 32;
 const OFFER_RETRY_PERIOD: u64 = 64;
 
 impl<C: BlockReserve> EliminationCounter<C> {
-    /// Wraps `inner` with an arena of [`DEFAULT_SLOTS`] slots and a spin
-    /// bound of [`DEFAULT_SPIN`].
+    /// Wraps `inner` with the default arena ([`EliminationConfig`]).
     #[must_use]
     pub fn new(inner: C) -> Self {
-        Self::with_arena(inner, DEFAULT_SLOTS, DEFAULT_SPIN)
+        Self::with_config(inner, EliminationConfig::default())
     }
 
     /// Wraps `inner` with `slots` exchanger slots and a partner-wait spin
-    /// bound of `spin` iterations per burst (two bursts separated by one
-    /// yield; `spin` of `0` disables offering entirely, so every
-    /// operation either captures an already-published offer or reserves
-    /// solo).
+    /// bound of `spin` iterations per burst, keeping the default
+    /// [`WaitStrategy::SpinYield`] waiting and probe window (equivalent
+    /// to [`Self::with_config`] with only those two fields changed).
     ///
     /// # Panics
     ///
     /// Panics if `slots` is zero.
     #[must_use]
     pub fn with_arena(inner: C, slots: usize, spin: usize) -> Self {
-        assert!(slots > 0, "the arena needs at least one slot");
+        Self::with_config(inner, EliminationConfig { slots, spin, ..EliminationConfig::default() })
+    }
+
+    /// Wraps `inner` with a fully specified arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.slots` or `config.probe` is zero.
+    #[must_use]
+    pub fn with_config(inner: C, config: EliminationConfig) -> Self {
+        assert!(config.slots > 0, "the arena needs at least one slot");
+        assert!(config.probe > 0, "the probe window needs at least one slot");
         Self {
             inner,
-            slots: (0..slots).map(|_| CachePadded::new(AtomicU64::new(EMPTY))).collect(),
-            spin,
+            slots: (0..config.slots).map(|_| CachePadded::new(AtomicU64::new(EMPTY))).collect(),
+            parking: ParkTable::new(config.slots),
+            config,
             collisions: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
             timeout_ticks: CachePadded::new(AtomicU64::new(0)),
@@ -178,10 +280,22 @@ impl<C: BlockReserve> EliminationCounter<C> {
         self.inner
     }
 
+    /// The arena's geometry and waiting policy.
+    #[must_use]
+    pub fn config(&self) -> EliminationConfig {
+        self.config
+    }
+
     /// The number of exchanger slots in the arena.
     #[must_use]
     pub fn arena_slots(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The waiting strategy published offers use.
+    #[must_use]
+    pub fn strategy(&self) -> WaitStrategy {
+        self.config.strategy
     }
 
     /// Operations that merged with a partner (both sides counted, so the
@@ -198,10 +312,32 @@ impl<C: BlockReserve> EliminationCounter<C> {
         self.fallbacks.load(Ordering::Relaxed)
     }
 
-    /// The arena slot a thread probes, spread by a Fibonacci hash so
-    /// consecutive thread ids land on distinct slots.
-    fn slot_of(&self, thread_id: usize) -> &AtomicU64 {
-        &self.slots[thread_id.wrapping_mul(0x9E37_79B9) % self.slots.len()]
+    /// The index of a thread's home slot, spread by a Fibonacci hash so
+    /// consecutive thread ids land on distinct slots. Probing starts here
+    /// and walks the adjacent slots (see [`Self::probe_window`]).
+    fn home_slot(&self, thread_id: usize) -> usize {
+        thread_id.wrapping_mul(0x9E37_79B9) % self.slots.len()
+    }
+
+    /// The effective probe window, in slots. Driven by the merge-credit
+    /// score: while credit is high, collisions are landing in home slots
+    /// and the window stays at 1 (the fast path costs one load); as
+    /// futile timeouts drain the credit the window widens — half the
+    /// configured maximum while some credit remains, the full maximum
+    /// once it is gone — to look for partners parked a slot over.
+    fn probe_window(&self) -> usize {
+        let limit = self.config.probe.min(self.slots.len());
+        if limit <= 1 {
+            return limit;
+        }
+        let score = self.score.load(Ordering::Relaxed);
+        if score > INITIAL_SCORE / 2 {
+            1
+        } else if score > 0 {
+            limit.div_ceil(2)
+        } else {
+            limit
+        }
     }
 
     /// Whether an operation finding an empty slot should publish an
@@ -220,6 +356,15 @@ impl<C: BlockReserve> EliminationCounter<C> {
         self.score.fetch_add(MERGE_BONUS, Ordering::Relaxed);
     }
 
+    /// Drains offering credit after a futile timeout, floored so a long
+    /// cold phase cannot dig a hole that takes hundreds of merges to
+    /// climb out of — re-detection stays O(1).
+    fn drain_score(&self, penalty: i64) {
+        if self.score.fetch_sub(penalty, Ordering::Relaxed) <= -INITIAL_SCORE {
+            self.score.store(-INITIAL_SCORE, Ordering::Relaxed);
+        }
+    }
+
     /// Consumes a `FILLED` word: takes the deposited base and recycles the
     /// slot.
     fn take_fill(&self, slot: &AtomicU64, word: u64) -> u64 {
@@ -229,93 +374,174 @@ impl<C: BlockReserve> EliminationCounter<C> {
         word >> 2
     }
 
+    /// Tries to capture the offer observed in slot `idx` and combine with
+    /// it: one reservation for the sum, the waiter's share deposited back
+    /// (waking its parked publisher if this arena parks), ours returned.
+    fn try_capture(&self, idx: usize, observed: u64, thread_id: usize, k: usize) -> Option<u64> {
+        let slot = &self.slots[idx];
+        slot.compare_exchange(observed, CLAIMED, Ordering::AcqRel, Ordering::Acquire).ok()?;
+        let partner_k = (observed >> 2) as usize;
+        // One reservation for the sum; the waiter gets the first
+        // sub-block (it arrived first), we take the rest.
+        let base = self.inner.reserve_block(thread_id, partner_k + k);
+        slot.store(pack(base, FILLED), Ordering::Release);
+        if self.config.strategy == WaitStrategy::Park {
+            // The deposit is observable (Release store above), so the
+            // seat's lock/notify pair cannot let the sleeper miss it.
+            self.parking.unpark(idx);
+        }
+        self.credit_merge();
+        Some(base + partner_k as u64)
+    }
+
+    /// One bounded spin burst over slot `idx`; returns the fill if the
+    /// partner deposited during the burst.
+    fn spin_burst(&self, idx: usize) -> Option<u64> {
+        let slot = &self.slots[idx];
+        for _ in 0..self.config.spin {
+            let word = slot.load(Ordering::Acquire);
+            if word & TAG_MASK == FILLED {
+                return Some(self.take_fill(slot, word));
+            }
+            std::hint::spin_loop();
+        }
+        None
+    }
+
+    /// Waits for a partner to fill the offer we published in slot `idx`,
+    /// according to the arena's [`WaitStrategy`]. Returns the merged base
+    /// on success and `None` once the offer has been retracted (the
+    /// caller then reserves solo). An offer captured concurrently with
+    /// its timeout is *obligated* and waits for the deposit.
+    fn wait_for_fill(&self, idx: usize, offer: u64) -> Option<u64> {
+        let slot = &self.slots[idx];
+        // First burst — common to all strategies: catches partners that
+        // arrive in parallel on another core within nanoseconds.
+        if let Some(base) = self.spin_burst(idx) {
+            return Some(base);
+        }
+        match self.config.strategy {
+            WaitStrategy::Spin => self.drain_score(1),
+            WaitStrategy::SpinYield => {
+                self.drain_score(1);
+                // A fraction of timeouts hands the core to a potential
+                // partner (spinning alone can never rendezvous when
+                // threads outnumber cores) and gives the returned-from-
+                // yield slice one more burst.
+                if self.timeout_ticks.fetch_add(1, Ordering::Relaxed).is_multiple_of(YIELD_PERIOD) {
+                    std::thread::yield_now();
+                    if let Some(base) = self.spin_burst(idx) {
+                        return Some(base);
+                    }
+                }
+            }
+            WaitStrategy::Park => {
+                // Sleep until the claimer's unpark (or the timeout). The
+                // park *is* the rendezvous mechanism here: the surrendered
+                // core is exactly what the partner needs to reach us.
+                let filled = || slot.load(Ordering::Acquire) & TAG_MASK == FILLED;
+                if self.parking.park_until(idx, self.config.park_timeout, filled) {
+                    let word = slot.load(Ordering::Acquire);
+                    return Some(self.take_fill(slot, word));
+                }
+                // Only a *futile* park pays the heavy penalty — a claimed
+                // one was the strategy working as intended (and earns the
+                // merge bonus in take_fill above).
+                self.drain_score(PARK_TIMEOUT_PENALTY);
+            }
+        }
+        // Timed out: retract the offer — unless a partner claimed it
+        // concurrently, in which case the combined reservation is already
+        // being made on our behalf and we must take the deposit (cf. the
+        // prism's CAPTURED state).
+        if slot.compare_exchange(offer, EMPTY, Ordering::AcqRel, Ordering::Acquire).is_err() {
+            return Some(self.await_obligated_fill(idx));
+        }
+        None
+    }
+
+    /// Waits out the obligated state: our offer was captured, the partner
+    /// is mid-reservation, and the deposit is guaranteed to arrive within
+    /// its one `reserve_block` call.
+    fn await_obligated_fill(&self, idx: usize) -> u64 {
+        let slot = &self.slots[idx];
+        if self.config.strategy == WaitStrategy::Park {
+            let filled = || slot.load(Ordering::Acquire) & TAG_MASK == FILLED;
+            loop {
+                let word = slot.load(Ordering::Acquire);
+                if word & TAG_MASK == FILLED {
+                    return self.take_fill(slot, word);
+                }
+                // The seat's check-under-lock makes a missed wakeup
+                // impossible; the timeout only re-arms the loop if the
+                // partner is descheduled mid-reservation for longer than
+                // one park interval.
+                let _ = self.parking.park_until(idx, self.config.park_timeout, filled);
+            }
+        }
+        let mut spins = 0u32;
+        loop {
+            let word = slot.load(Ordering::Acquire);
+            if word & TAG_MASK == FILLED {
+                return self.take_fill(slot, word);
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(1024) {
+                // The partner holds no lock, but it may be preempted
+                // mid-reservation; yield rather than burn the core.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
     /// The arena protocol: returns the base of this operation's contiguous
     /// block of `k` values, merged with a partner's when a collision
     /// succeeds.
     fn reserve(&self, thread_id: usize, k: usize) -> u64 {
         debug_assert!(k > 0);
-        let slot = self.slot_of(thread_id);
+        let home = self.home_slot(thread_id);
+        let window = self.probe_window();
 
-        let observed = slot.load(Ordering::Acquire);
-        if observed & TAG_MASK == OFFER {
-            // A partner is waiting: try to capture its offer and combine.
-            if slot.compare_exchange(observed, CLAIMED, Ordering::AcqRel, Ordering::Acquire).is_ok()
-            {
-                let partner_k = (observed >> 2) as usize;
-                // One reservation for the sum; the waiter gets the first
-                // sub-block (it arrived first), we take the rest.
-                let base = self.inner.reserve_block(thread_id, partner_k + k);
-                slot.store(pack(base, FILLED), Ordering::Release);
-                self.credit_merge();
-                return base + partner_k as u64;
-            }
-            // Lost the capture race — reserve solo below.
-        } else if observed == EMPTY && self.spin > 0 && self.should_offer() {
-            // Publish our own offer and wait for a capturer: spin briefly
-            // for a partner running on another core, yield the core once
-            // so a partner can run at all when threads outnumber cores
-            // (spinning alone can never rendezvous there — see the module
-            // docs), then give the returned-from-yield slice one more
-            // spin burst.
-            let offer = pack(k as u64, OFFER);
-            if slot.compare_exchange(EMPTY, offer, Ordering::AcqRel, Ordering::Acquire).is_ok() {
-                let mut yielded = false;
-                'wait: loop {
-                    for _ in 0..self.spin {
-                        let word = slot.load(Ordering::Acquire);
-                        if word & TAG_MASK == FILLED {
-                            return self.take_fill(slot, word);
-                        }
-                        std::hint::spin_loop();
-                    }
-                    if yielded {
-                        break 'wait;
-                    }
-                    // Drain offering credit, floored so a long cold phase
-                    // cannot dig a hole that takes hundreds of merges to
-                    // climb out of — re-detection stays O(1).
-                    if self.score.fetch_sub(1, Ordering::Relaxed) <= -INITIAL_SCORE {
-                        self.score.store(-INITIAL_SCORE, Ordering::Relaxed);
-                    }
-                    if !self
-                        .timeout_ticks
-                        .fetch_add(1, Ordering::Relaxed)
-                        .is_multiple_of(YIELD_PERIOD)
-                    {
-                        break 'wait;
-                    }
-                    std::thread::yield_now();
-                    yielded = true;
+        // Capture scan: claim the first published offer in the window.
+        for i in 0..window {
+            let idx = (home + i) % self.slots.len();
+            let observed = self.slots[idx].load(Ordering::Acquire);
+            if observed & TAG_MASK == OFFER {
+                if let Some(base) = self.try_capture(idx, observed, thread_id, k) {
+                    return base;
                 }
-                // Timed out: retract the offer — unless a partner claimed
-                // it concurrently, in which case the combined reservation
-                // is already being made on our behalf and we must take the
-                // deposit (cf. the prism's CAPTURED state).
-                if slot.compare_exchange(offer, EMPTY, Ordering::AcqRel, Ordering::Acquire).is_err()
-                {
-                    let mut spins = 0u32;
-                    loop {
-                        let word = slot.load(Ordering::Acquire);
-                        if word & TAG_MASK == FILLED {
-                            return self.take_fill(slot, word);
-                        }
-                        spins = spins.wrapping_add(1);
-                        if spins.is_multiple_of(1024) {
-                            // The partner holds no lock, but it may be
-                            // preempted mid-reservation; yield rather than
-                            // burn the core.
-                            std::thread::yield_now();
-                        } else {
-                            std::hint::spin_loop();
-                        }
-                    }
-                }
-                // Retraction succeeded — reserve solo below.
+                // Lost the capture race — keep scanning; the rest of the
+                // window may hold another offer.
             }
-            // Lost the publish race — reserve solo below.
         }
-        // Busy slot, lost race, or timeout: one solo reservation against
-        // the underlying counter keeps the layer obstruction-free.
+
+        // Publish our own offer in the first empty slot of the window and
+        // wait for a capturer.
+        if self.config.spin > 0 && self.should_offer() {
+            let offer = pack(k as u64, OFFER);
+            for i in 0..window {
+                let idx = (home + i) % self.slots.len();
+                let slot = &self.slots[idx];
+                if slot.load(Ordering::Relaxed) == EMPTY
+                    && slot
+                        .compare_exchange(EMPTY, offer, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    if let Some(base) = self.wait_for_fill(idx, offer) {
+                        return base;
+                    }
+                    // Retraction succeeded — reserve solo below.
+                    break;
+                }
+                // Busy slot or lost publish race — try the next one.
+            }
+        }
+
+        // Busy window, lost race, quiet arena, or timeout: one solo
+        // reservation against the underlying counter keeps the layer
+        // obstruction-free.
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
         self.inner.reserve_block(thread_id, k)
     }
@@ -337,7 +563,12 @@ impl<C: BlockReserve> SharedCounter for EliminationCounter<C> {
     }
 
     fn describe(&self) -> String {
-        format!("{} + elim[{}]", self.inner.describe(), self.slots.len())
+        format!(
+            "{} + elim[{}:{}]",
+            self.inner.describe(),
+            self.slots.len(),
+            self.config.strategy.label()
+        )
     }
 }
 
@@ -356,12 +587,32 @@ mod tests {
     use counting::counting_network;
     use std::collections::HashSet;
     use std::sync::Mutex;
+    use std::time::Instant;
 
     fn assert_exact_range(values: &[u64]) {
         let m = values.len() as u64;
         let set: HashSet<u64> = values.iter().copied().collect();
         assert_eq!(set.len() as u64, m, "duplicate values handed out");
         assert!(values.iter().all(|&v| v < m), "values must tile 0..{m}");
+    }
+
+    /// A Park-strategy arena with the given geometry and timeout.
+    fn park_counter<C: BlockReserve>(
+        inner: C,
+        slots: usize,
+        spin: usize,
+        park_timeout: Duration,
+    ) -> EliminationCounter<C> {
+        EliminationCounter::with_config(
+            inner,
+            EliminationConfig {
+                slots,
+                spin,
+                strategy: WaitStrategy::Park,
+                park_timeout,
+                ..EliminationConfig::default()
+            },
+        )
     }
 
     // --- deterministic collide / merge / split --------------------------
@@ -459,7 +710,208 @@ mod tests {
         assert_eq!(counter.collisions(), 1);
     }
 
-    // --- preemption-hostile schedule ------------------------------------
+    // --- park / unpark protocol -----------------------------------------
+
+    #[test]
+    fn parked_offer_is_woken_by_its_claimer() {
+        // Park strategy with a one-minute timeout: completing at all
+        // proves the waiter was *woken* by the claimer's unpark rather
+        // than saved by its own timeout, and the merged split must be
+        // identical to the spinning protocol's.
+        let counter = park_counter(CentralCounter::new(), 1, 4, Duration::from_secs(60));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let mut out = Vec::new();
+                counter.next_batch(0, 3, &mut out);
+                out
+            });
+            while counter.slots[0].load(Ordering::Acquire) & TAG_MASK != OFFER {
+                std::thread::yield_now();
+            }
+            let mut capturer = Vec::new();
+            counter.next_batch(1, 5, &mut capturer);
+            let waiter = waiter.join().expect("waiter panicked");
+            assert_eq!(waiter, vec![0, 1, 2]);
+            assert_eq!(capturer, vec![3, 4, 5, 6, 7]);
+        });
+        assert!(start.elapsed() < Duration::from_secs(50), "the wakeup must beat the timeout");
+        assert_eq!(counter.collisions(), 2);
+        assert_eq!(counter.fallbacks(), 0);
+        assert_eq!(
+            counter.score.load(Ordering::Relaxed),
+            INITIAL_SCORE + 2 * MERGE_BONUS,
+            "a claimed park earns the merge bonus and pays no timeout penalty"
+        );
+        assert_eq!(counter.slots[0].load(Ordering::Relaxed), EMPTY, "the slot was recycled");
+        assert_eq!(counter.inner().next(0), 8, "exactly one combined reservation");
+    }
+
+    #[test]
+    fn park_timeout_retracts_the_offer_and_reserves_solo() {
+        // No partner ever arrives: the parked offer must wake by timeout,
+        // retract, and fall back to a solo reservation.
+        let timeout = Duration::from_millis(2);
+        let counter = park_counter(CentralCounter::new(), 1, 2, timeout);
+        let start = Instant::now();
+        let mut out = Vec::new();
+        counter.next_batch(0, 2, &mut out);
+        assert!(start.elapsed() >= timeout, "the operation must actually have slept");
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(counter.collisions(), 0);
+        assert_eq!(counter.fallbacks(), 1);
+        assert_eq!(counter.slots[0].load(Ordering::Relaxed), EMPTY, "the offer was retracted");
+        assert_eq!(
+            counter.score.load(Ordering::Relaxed),
+            INITIAL_SCORE - PARK_TIMEOUT_PENALTY,
+            "a futile park drains the heavy penalty exactly once"
+        );
+    }
+
+    #[test]
+    fn spurious_wakeups_while_parked_re_check_and_keep_waiting() {
+        // Unparking the seat without depositing anything must not break
+        // the protocol: the waiter re-checks the slot word, sees its offer
+        // still pending, and parks again until the real claim arrives.
+        let counter = park_counter(CentralCounter::new(), 1, 2, Duration::from_secs(60));
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let mut out = Vec::new();
+                counter.next_batch(0, 3, &mut out);
+                out
+            });
+            while counter.slots[0].load(Ordering::Acquire) & TAG_MASK != OFFER {
+                std::thread::yield_now();
+            }
+            for _ in 0..20 {
+                counter.parking.unpark(0);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert!(!waiter.is_finished(), "spurious wakeups must not complete the offer");
+            let mut capturer = Vec::new();
+            counter.next_batch(1, 5, &mut capturer);
+            assert_eq!(waiter.join().expect("waiter panicked"), vec![0, 1, 2]);
+            assert_eq!(capturer, vec![3, 4, 5, 6, 7]);
+        });
+        assert_eq!(counter.collisions(), 2);
+        assert_eq!(counter.fallbacks(), 0);
+    }
+
+    #[test]
+    fn parked_collisions_land_under_real_oversubscribed_concurrency() {
+        // The whole point of Park: rendezvous must work even when all
+        // threads share one core, because a sleeping publisher hands its
+        // core to the partner. 8 threads hammering one small arena must
+        // merge, whatever the host's cpu count.
+        let counter = park_counter(CentralCounter::new(), 4, 16, DEFAULT_PARK_TIMEOUT);
+        let all = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for tid in 0..8 {
+                let counter = &counter;
+                let all = &all;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for op in 0..1_000 {
+                        counter.next_batch(tid, 1 + (op + tid) % 4, &mut local);
+                    }
+                    all.lock().expect("not poisoned").extend(local);
+                });
+            }
+        });
+        assert_exact_range(&all.into_inner().expect("not poisoned"));
+        assert!(counter.collisions() > 0, "8 parked threads must merge at least sometimes");
+    }
+
+    // --- multi-slot probing ----------------------------------------------
+
+    #[test]
+    fn drained_credit_widens_the_capture_scan_to_adjacent_slots() {
+        // An offer parked two slots away from the caller's home: with the
+        // merge-credit score drained the probe window covers the whole
+        // arena and the capture scan must find and merge with it.
+        let counter = EliminationCounter::with_config(
+            CentralCounter::new(),
+            EliminationConfig { slots: 4, spin: 0, probe: 4, ..EliminationConfig::default() },
+        );
+        counter.score.store(0, Ordering::Relaxed);
+        counter.slots[2].store(pack(3, OFFER), Ordering::Release);
+        let mut out = Vec::new();
+        counter.next_batch(0, 2, &mut out); // home slot of thread 0 is slot 0
+        assert_eq!(out, vec![3, 4], "the probed capture keeps the tail of the merged block");
+        let word = counter.slots[2].load(Ordering::Acquire);
+        assert_eq!(word & TAG_MASK, FILLED, "the waiter's share was deposited two slots over");
+        assert_eq!(counter.collisions(), 1);
+        assert_eq!(counter.fallbacks(), 0);
+    }
+
+    #[test]
+    fn high_credit_keeps_the_probe_window_at_one_slot() {
+        // A fresh arena (full merge credit) must *not* pay for wide scans:
+        // an offer two slots away is invisible and the call goes solo.
+        let counter = EliminationCounter::with_config(
+            CentralCounter::new(),
+            EliminationConfig { slots: 4, spin: 0, probe: 4, ..EliminationConfig::default() },
+        );
+        counter.slots[2].store(pack(3, OFFER), Ordering::Release);
+        let mut out = Vec::new();
+        counter.next_batch(0, 2, &mut out);
+        assert_eq!(out, vec![0, 1], "a narrow window reserves solo");
+        assert_eq!(counter.collisions(), 0);
+        assert_eq!(counter.fallbacks(), 1);
+        let word = counter.slots[2].load(Ordering::Acquire);
+        assert_eq!(word & TAG_MASK, OFFER, "the distant offer was never touched");
+    }
+
+    #[test]
+    fn offers_spill_into_the_adjacent_slot_when_home_is_busy() {
+        // Thread 0's home slot is occupied by a pair mid-merge (CLAIMED):
+        // with probing, its offer lands in the next slot of the window,
+        // where thread 1 (whose home *is* slot 1) captures it.
+        let counter = EliminationCounter::with_config(
+            CentralCounter::new(),
+            EliminationConfig {
+                slots: 4,
+                spin: 2,
+                probe: 2,
+                strategy: WaitStrategy::Park,
+                park_timeout: Duration::from_secs(60),
+            },
+        );
+        counter.score.store(0, Ordering::Relaxed); // widen the window
+        counter.slots[0].store(CLAIMED, Ordering::Release);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let mut out = Vec::new();
+                counter.next_batch(0, 3, &mut out);
+                out
+            });
+            while counter.slots[1].load(Ordering::Acquire) & TAG_MASK != OFFER {
+                std::thread::yield_now();
+            }
+            let mut capturer = Vec::new();
+            counter.next_batch(1, 5, &mut capturer);
+            assert_eq!(waiter.join().expect("waiter panicked"), vec![0, 1, 2]);
+            assert_eq!(capturer, vec![3, 4, 5, 6, 7]);
+        });
+        assert_eq!(counter.collisions(), 2, "the spilled offer still merged");
+        assert_eq!(counter.slots[0].load(Ordering::Relaxed), CLAIMED, "the busy slot was left");
+    }
+
+    #[test]
+    fn probe_window_clamps_to_the_arena_size() {
+        let counter = EliminationCounter::with_config(
+            CentralCounter::new(),
+            EliminationConfig { slots: 2, probe: 64, ..EliminationConfig::default() },
+        );
+        counter.score.store(-INITIAL_SCORE, Ordering::Relaxed);
+        assert_eq!(counter.probe_window(), 2, "the window never exceeds the slot count");
+        counter.score.store(INITIAL_SCORE, Ordering::Relaxed);
+        assert_eq!(counter.probe_window(), 1, "full credit narrows to the home slot");
+        counter.score.store(INITIAL_SCORE / 4, Ordering::Relaxed);
+        assert_eq!(counter.probe_window(), 1, "partial credit: half of the clamped window");
+    }
+
+    // --- preemption-hostile schedules ------------------------------------
 
     #[test]
     fn preemption_hostile_schedule_preserves_the_exact_range() {
@@ -498,44 +950,94 @@ mod tests {
         );
     }
 
+    #[test]
+    fn preemption_hostile_park_schedule_preserves_the_exact_range() {
+        // The Park mirror of the schedule above, in the style of the PR 2
+        // prism tests: a single slot shared by 8 threads on (possibly) one
+        // core, a tiny park timeout so offers expire while their
+        // publishers sleep, and forced mid-stream sleeps so retraction
+        // races with capture and obligated parked waits all occur.
+        let counter = park_counter(CentralCounter::new(), 1, 1, Duration::from_micros(200));
+        let threads = 8;
+        let per_thread = 400;
+        let all = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let counter = &counter;
+                let all = &all;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for op in 0..per_thread {
+                        counter.next_batch(tid, 1 + (op * 7 + tid) % 5, &mut local);
+                        if op % 64 == tid * 8 {
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                        }
+                    }
+                    all.lock().expect("not poisoned").extend(local);
+                });
+            }
+        });
+        let values = all.into_inner().expect("not poisoned");
+        assert_exact_range(&values);
+        assert_eq!(
+            counter.collisions() + counter.fallbacks(),
+            (threads * per_thread) as u64,
+            "every operation is exactly one of merged or solo"
+        );
+        assert_eq!(counter.slots[0].load(Ordering::Relaxed), EMPTY, "the slot drained");
+    }
+
     // --- the lifted restriction, on every counter -----------------------
 
     #[test]
     fn mixed_batches_tile_exactly_on_every_wrapped_counter() {
         // The exact mixed-size workload that breaks raw stride
         // reservations: random k per op, op count not divisible by any
-        // output width. Through the layer, every counter must hand out
-        // exactly 0..m.
-        type Make = fn() -> Box<dyn SharedCounter>;
+        // output width. Through the layer — under every waiting strategy —
+        // every counter must hand out exactly 0..m.
+        type Make = fn(WaitStrategy) -> Box<dyn SharedCounter>;
+        fn config(strategy: WaitStrategy) -> EliminationConfig {
+            EliminationConfig { strategy, ..EliminationConfig::default() }
+        }
         let make: [Make; 4] = [
-            || {
+            |s| {
                 let net = counting_network(8, 24).expect("valid");
-                Box::new(EliminationCounter::new(NetworkCounter::new("C(8,24)", &net)))
+                Box::new(EliminationCounter::with_config(
+                    NetworkCounter::new("C(8,24)", &net),
+                    config(s),
+                ))
             },
-            || Box::new(EliminationCounter::new(DiffractingCounter::new(8, 4, 32))),
-            || Box::new(EliminationCounter::new(CentralCounter::new())),
-            || Box::new(EliminationCounter::new(LockCounter::new())),
+            |s| {
+                Box::new(EliminationCounter::with_config(
+                    DiffractingCounter::new(8, 4, 32),
+                    config(s),
+                ))
+            },
+            |s| Box::new(EliminationCounter::with_config(CentralCounter::new(), config(s))),
+            |s| Box::new(EliminationCounter::with_config(LockCounter::new(), config(s))),
         ];
-        for factory in make {
-            let counter = factory();
-            let threads = 8;
-            let batches = 101; // deliberately not a multiple of anything
-            let all = Mutex::new(Vec::new());
-            std::thread::scope(|scope| {
-                for tid in 0..threads {
-                    let counter = counter.as_ref();
-                    let all = &all;
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        for op in 0..batches {
-                            counter.next_batch(tid, 1 + (op * 13 + tid * 5) % 9, &mut local);
-                        }
-                        all.lock().expect("not poisoned").extend(local);
-                    });
-                }
-            });
-            let values = all.into_inner().expect("not poisoned");
-            assert_exact_range(&values);
+        for strategy in WaitStrategy::ALL {
+            for factory in make {
+                let counter = factory(strategy);
+                let threads = 8;
+                let batches = 101; // deliberately not a multiple of anything
+                let all = Mutex::new(Vec::new());
+                std::thread::scope(|scope| {
+                    for tid in 0..threads {
+                        let counter = counter.as_ref();
+                        let all = &all;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            for op in 0..batches {
+                                counter.next_batch(tid, 1 + (op * 13 + tid * 5) % 9, &mut local);
+                            }
+                            all.lock().expect("not poisoned").extend(local);
+                        });
+                    }
+                });
+                let values = all.into_inner().expect("not poisoned");
+                assert_exact_range(&values);
+            }
         }
     }
 
@@ -577,11 +1079,16 @@ mod tests {
     }
 
     #[test]
-    fn describe_names_inner_and_arena() {
+    fn describe_names_inner_arena_and_strategy() {
         let counter = EliminationCounter::with_arena(CentralCounter::new(), 2, 8);
-        assert_eq!(counter.describe(), "central fetch_add + elim[2]");
+        assert_eq!(counter.describe(), "central fetch_add + elim[2:spin-yield]");
         assert_eq!(counter.arena_slots(), 2);
-        let inner = counter.into_inner();
+        assert_eq!(counter.strategy(), WaitStrategy::SpinYield);
+        assert_eq!(counter.config().spin, 8);
+        let parked = park_counter(CentralCounter::new(), 3, 8, DEFAULT_PARK_TIMEOUT);
+        assert_eq!(parked.describe(), "central fetch_add + elim[3:park]");
+        assert_eq!(parked.strategy(), WaitStrategy::Park);
+        let inner = parked.into_inner();
         assert_eq!(inner.describe(), "central fetch_add");
     }
 
@@ -589,6 +1096,15 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _ = EliminationCounter::with_arena(CentralCounter::new(), 0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe window needs at least one slot")]
+    fn zero_probe_rejected() {
+        let _ = EliminationCounter::with_config(
+            CentralCounter::new(),
+            EliminationConfig { probe: 0, ..EliminationConfig::default() },
+        );
     }
 
     #[test]

@@ -31,7 +31,13 @@
 //!   [`BlockReserve`] counter: colliding `next_batch` callers merge their
 //!   requests into one combined contiguous reservation and split it back
 //!   gap-free, making the exact-range guarantee hold for **mixed** batch
-//!   sizes and arbitrary operation counts.
+//!   sizes and arbitrary operation counts. The arena probes a small
+//!   window of adjacent slots before falling back to a solo reservation.
+//! * [`waiting`] — pluggable rendezvous waiting: [`WaitStrategy`]
+//!   selects how a published offer waits for its partner (pure spin,
+//!   spin-then-yield, or parking on a `parking_lot`-backed [`ParkTable`]
+//!   keyed by arena slot, woken by the claimer). Parking is what makes
+//!   collisions land when runnable threads outnumber cpus.
 //!
 //! Concurrency-correctness notes: every balancer traversal is a single
 //! atomic `fetch_add` (so balancer state transitions are linearizable per
@@ -49,10 +55,12 @@ pub mod diffracting;
 pub mod elimination;
 pub mod stress;
 pub mod throughput;
+pub mod waiting;
 
 pub use compiled::CompiledNetwork;
 pub use counter::{BlockReserve, CentralCounter, LockCounter, NetworkCounter, SharedCounter};
 pub use diffracting::DiffractingCounter;
-pub use elimination::EliminationCounter;
+pub use elimination::{EliminationConfig, EliminationCounter};
 pub use stress::{run_stress, Batching, Scenario, StressConfig, StressReport, ValueBitmap};
 pub use throughput::{measure_batched_throughput, measure_throughput, ThroughputMeasurement};
+pub use waiting::{ParkTable, WaitStrategy};

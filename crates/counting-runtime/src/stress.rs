@@ -24,6 +24,12 @@
 //! drawn from the deterministic mixed-size stream shared with
 //! `counting-sim`'s arena model — the workload that requires the
 //! elimination layer ([`crate::elimination`]) for gap-free hand-outs.
+//! When the counter under test is an elimination-wrapped one, its
+//! [`crate::waiting::WaitStrategy`] forms a third matrix axis next to
+//! batching and scenario (the strategy is carried by the counter and
+//! named by its `describe()` string): the torture suite and
+//! `exp_elimination`'s E14c table drive the full counter × scenario ×
+//! strategy grid.
 //!
 //! All scenarios exclude thread start-up from the measured window via a
 //! start barrier, so the reported rates are steady-state.
@@ -283,6 +289,11 @@ impl StressConfig {
 }
 
 /// The outcome of one stress run: rates plus the online invariant checks.
+///
+/// The three offender *lists* (`first_duplicates`, `first_missing`,
+/// `first_out_of_range`) all share one cap, [`OFFENDER_REPORT_LIMIT`]:
+/// each names at most that many example values, while the corresponding
+/// *counts* (`duplicates`, `missing`, `out_of_range`) are always exact.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StressReport {
     /// Description of the counter under test.
@@ -340,9 +351,13 @@ impl StressReport {
     }
 }
 
-/// How many offending values (duplicates, gaps, out-of-range) a
-/// [`StressReport`] retains verbatim. Counts are always exact; only the
-/// listed examples are capped.
+/// How many offending values a [`StressReport`] retains verbatim —
+/// the one cap shared by **all three** offender lists
+/// ([`StressReport::first_duplicates`], [`StressReport::first_missing`],
+/// [`StressReport::first_out_of_range`]). Counts are always exact; only
+/// the listed examples are capped, and once the cap is reached the
+/// mutex-guarded lists are never touched again, so a torrent of
+/// violations cannot serialize the workers.
 pub const OFFENDER_REPORT_LIMIT: usize = 16;
 
 /// Per-thread bookkeeping shared with the invariant checker.
@@ -785,6 +800,39 @@ mod tests {
         assert_eq!(report.first_out_of_range, vec![u64::MAX; report.first_out_of_range.len()]);
         assert!(!report.first_out_of_range.is_empty());
         assert!(report.first_missing.first().is_some_and(|&v| v >= 2), "0 and 1 were handed out");
+    }
+
+    #[test]
+    fn offender_lists_share_one_cap_and_counts_stay_exact() {
+        // A counter that hands out nothing but zeros floods every failure
+        // channel far past the cap: each list must stop at exactly
+        // OFFENDER_REPORT_LIMIT examples while the counts remain exact.
+        struct AlwaysZero;
+        impl SharedCounter for AlwaysZero {
+            fn next(&self, _thread_id: usize) -> u64 {
+                0
+            }
+            fn describe(&self) -> String {
+                "always zero".into()
+            }
+        }
+        let threads = 4;
+        let ops = 100;
+        let report = run_stress(&AlwaysZero, &StressConfig::steady(threads, ops));
+        let m = (threads as u64) * ops;
+        // One thread marked 0 first; every other hand-out is a duplicate.
+        assert_eq!(report.duplicates, m - 1, "counts are exact, not capped");
+        assert_eq!(report.missing, m - 1, "only value 0 was ever produced");
+        assert_eq!(report.first_duplicates.len(), OFFENDER_REPORT_LIMIT);
+        assert_eq!(report.first_missing.len(), OFFENDER_REPORT_LIMIT);
+        assert!(report.first_duplicates.iter().all(|&v| v == 0));
+        assert_eq!(
+            report.first_missing,
+            (1..=OFFENDER_REPORT_LIMIT as u64).collect::<Vec<_>>(),
+            "the smallest missing values, in order, up to the shared cap"
+        );
+        assert!(report.first_out_of_range.is_empty(), "nothing escaped the range");
+        assert_eq!(report.out_of_range, 0);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   request-size sequences.
 //! * The slot protocol itself: offer, pairwise capture, combined
 //!   reservation, split, and timeout fallback, mirrored here as
-//!   round-based state transitions.
+//!   round-based state transitions — including the runtime's multi-slot
+//!   probe window ([`ArenaConfig::probe`]) and its `Park` waiting
+//!   strategy, modeled as offers that skip rounds instead of losing
+//!   patience ([`ArenaConfig::park`]).
 
 use serde::Serialize;
 
@@ -58,6 +61,9 @@ pub struct ArenaConfig {
     pub slots: usize,
     /// Rounds a published offer waits for a partner before the process
     /// gives up and reserves solo (`0` = never offer, always go solo).
+    /// With [`Self::park`] set, patience is wall-clock rather than
+    /// round-counted and this field only keeps its `0 = never offer`
+    /// meaning.
     pub spin_rounds: usize,
     /// Operations per process.
     pub ops_per_process: u64,
@@ -65,6 +71,22 @@ pub struct ArenaConfig {
     pub max_k: usize,
     /// Seed of the shared batch-size stream (see [`batch_size_sequence`]).
     pub seed: u64,
+    /// Probe window: how many adjacent slots (starting at the hashed home
+    /// slot) a process scans for a partner, and spills its offer into,
+    /// before reserving solo. Clamped to `slots`; the runtime narrows its
+    /// window adaptively with the merge-credit score, the model always
+    /// probes the full window (an upper envelope, like its collision
+    /// rate). Must be `>= 1`.
+    pub probe: usize,
+    /// Models the runtime's `Park` waiting strategy: a parked offer
+    /// *skips rounds* instead of losing patience — it stays claimable as
+    /// long as any process is still making progress, because a sleeping
+    /// publisher's wall-clock timeout dwarfs the partner's arrival time.
+    /// Only when every live process is parked (nobody left to claim
+    /// anybody) does the longest-waiting offer time out and retire solo,
+    /// one per round — the model's stand-in for the wall-clock
+    /// `park_timeout` expiring in a quiescent system.
+    pub park: bool,
 }
 
 /// The outcome of one arena-model run.
@@ -113,24 +135,28 @@ enum ProcState {
 /// order (the rotation stands in for scheduling nondeterminism while
 /// keeping the run reproducible):
 ///
-/// * an idle process draws its next batch size and probes a slot: if the
-///   slot holds a waiting offer the two merge — one combined reservation
-///   for the summed sizes, split contiguously, both operations complete;
-///   if the slot is free the process parks an offer (patience =
-///   `spin_rounds`); if it has no patience it reserves solo;
+/// * an idle process draws its next batch size and probes a window of
+///   [`ArenaConfig::probe`] slots starting at its hashed home slot: the
+///   first waiting offer found merges — one combined reservation for the
+///   summed sizes, split contiguously, both operations complete; failing
+///   that, the first free slot of the window receives the process's own
+///   offer (patience = `spin_rounds`); a fully busy window reserves solo;
 /// * a waiting process loses one round of patience; at zero it retracts
-///   the offer and reserves solo.
+///   the offer and reserves solo. With [`ArenaConfig::park`] the offer
+///   skips rounds instead (see the field docs) and only times out when
+///   every live process is parked.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is degenerate (zero processes, slots,
-/// operations, or `max_k`).
+/// operations, `max_k`, or a zero probe window).
 #[must_use]
 pub fn simulate_arena(config: &ArenaConfig) -> ArenaReport {
     assert!(config.processes > 0, "at least one process is required");
     assert!(config.slots > 0, "the arena needs at least one slot");
     assert!(config.ops_per_process > 0, "at least one operation per process is required");
     assert!(config.max_k > 0, "max_k must be at least 1");
+    assert!(config.probe > 0, "the probe window needs at least one slot");
 
     let n = config.processes;
     let mut sizes: Vec<_> =
@@ -156,14 +182,42 @@ pub fn simulate_arena(config: &ArenaConfig) -> ArenaReport {
         *cursor += len;
     };
 
+    let window = config.probe.min(config.slots);
     let mut round = 0usize;
     while remaining.iter().any(|&r| r > 0) || state.iter().any(|s| *s != ProcState::Idle) {
+        if config.park {
+            // Parked offers only expire when nobody is left to claim
+            // them: every live process is waiting. Retire the
+            // lowest-indexed waiter (the model's deterministic stand-in
+            // for "longest parked"), one per round, which restores
+            // progress and bounds the run.
+            let stalled = state.iter().enumerate().all(|(p, s)| match s {
+                ProcState::Waiting { .. } => true,
+                ProcState::Idle => remaining[p] == 0,
+            });
+            if stalled {
+                if let Some(p) = state.iter().position(|s| matches!(s, ProcState::Waiting { .. })) {
+                    let ProcState::Waiting { slot, .. } = state[p] else { unreachable!() };
+                    let (_, k) = slot_offer[slot].take().expect("offer present");
+                    reserve(k as u64, &mut bases, &mut cursor);
+                    reservations += 1;
+                    fallbacks += 1;
+                    state[p] = ProcState::Idle;
+                    round += 1;
+                    continue;
+                }
+            }
+        }
         for offset in 0..n {
             // Rotate who moves first each round.
             let p = (round + offset) % n;
             match state[p] {
                 ProcState::Waiting { slot, patience } => {
-                    if patience == 0 {
+                    if config.park {
+                        // Round-skipping: a parked offer keeps its
+                        // patience while the system is live (the stall
+                        // check above is the only way it expires).
+                    } else if patience == 0 {
                         // Timeout: retract the offer, reserve solo.
                         let (_, k) = slot_offer[slot].take().expect("offer present");
                         reserve(k as u64, &mut bases, &mut cursor);
@@ -183,28 +237,33 @@ pub fn simulate_arena(config: &ArenaConfig) -> ArenaReport {
                     let k = sizes[p].next().expect("infinite stream");
                     values += k as u64;
                     probes[p] = probes[p].wrapping_add(0x9E37_79B9);
-                    let slot = (probes[p] % config.slots as u64) as usize;
-                    match slot_offer[slot] {
-                        Some((partner, partner_k)) if partner != p => {
-                            // Collide: one combined reservation, split.
-                            slot_offer[slot] = None;
-                            state[partner] = ProcState::Idle;
-                            reserve((partner_k + k) as u64, &mut bases, &mut cursor);
-                            reservations += 1;
-                            collisions += 2;
-                        }
-                        Some(_) => {
-                            // Own stale offer can't happen (offers clear on
-                            // completion); treat as busy → solo.
-                            reserve(k as u64, &mut bases, &mut cursor);
-                            reservations += 1;
-                            fallbacks += 1;
-                        }
-                        None if config.spin_rounds > 0 => {
+                    let home = (probes[p] % config.slots as u64) as usize;
+                    // Capture scan: merge with the first offer in the
+                    // probe window.
+                    let captured = (0..window).map(|i| (home + i) % config.slots).find(
+                        |&slot| matches!(slot_offer[slot], Some((partner, _)) if partner != p),
+                    );
+                    if let Some(slot) = captured {
+                        // Collide: one combined reservation, split.
+                        let (partner, partner_k) = slot_offer[slot].take().expect("offer present");
+                        state[partner] = ProcState::Idle;
+                        reserve((partner_k + k) as u64, &mut bases, &mut cursor);
+                        reservations += 1;
+                        collisions += 2;
+                        continue;
+                    }
+                    // No partner: spill the offer into the first free
+                    // slot of the window, or reserve solo if the window
+                    // is fully busy (or offering is disabled).
+                    let free = (0..window)
+                        .map(|i| (home + i) % config.slots)
+                        .find(|&slot| slot_offer[slot].is_none());
+                    match free {
+                        Some(slot) if config.spin_rounds > 0 => {
                             slot_offer[slot] = Some((p, k));
                             state[p] = ProcState::Waiting { slot, patience: config.spin_rounds };
                         }
-                        None => {
+                        _ => {
                             reserve(k as u64, &mut bases, &mut cursor);
                             reservations += 1;
                             fallbacks += 1;
@@ -249,7 +308,16 @@ mod tests {
     use super::*;
 
     fn config(processes: usize, slots: usize, spin_rounds: usize) -> ArenaConfig {
-        ArenaConfig { processes, slots, spin_rounds, ops_per_process: 200, max_k: 8, seed: 42 }
+        ArenaConfig {
+            processes,
+            slots,
+            spin_rounds,
+            ops_per_process: 200,
+            max_k: 8,
+            seed: 42,
+            probe: 1,
+            park: false,
+        }
     }
 
     #[test]
@@ -312,6 +380,62 @@ mod tests {
         assert_eq!(lone.collisions, 0, "a lone process has nobody to merge with");
         assert!(crowded.collision_rate > 0.0, "{crowded:?}");
         assert!(crowded.collision_rate > lone.collision_rate);
+    }
+
+    #[test]
+    fn parked_offers_outlast_impatience_and_raise_the_collision_rate() {
+        // Two processes whose hashed home slots never coincide in
+        // lock-step: a spinning offer with one round of patience expires
+        // before the partner's probe ever reaches it (rate exactly 0),
+        // while a parked offer stays claimable until the partner's home
+        // walks onto its slot.
+        let spinning = simulate_arena(&config(2, 4, 1));
+        let parked = simulate_arena(&ArenaConfig { park: true, ..config(2, 4, 1) });
+        assert_eq!(spinning.collisions, 0, "mismatched homes: impatient offers never meet");
+        assert!(
+            parked.collision_rate > 0.2,
+            "round-skipping offers must catch the walking partner: {parked:?}"
+        );
+        assert!(parked.is_exact_range);
+        assert_eq!(parked.collisions + parked.fallbacks, parked.ops);
+    }
+
+    #[test]
+    fn a_lone_parked_process_times_out_and_terminates() {
+        // One process, park mode: every offer stalls the whole system, so
+        // the quiescence rule must retire it (solo) and the run must end.
+        let report = simulate_arena(&ArenaConfig { park: true, ..config(1, 2, 4) });
+        assert_eq!(report.collisions, 0, "no partner ever exists");
+        assert_eq!(report.fallbacks, report.ops);
+        assert!(report.is_exact_range);
+    }
+
+    #[test]
+    fn wider_probe_windows_find_partners_across_slots() {
+        // Two processes over four slots with hashed homes: a window of 1
+        // only merges when the homes collide, a full-width window always
+        // finds the parked partner.
+        let narrow = simulate_arena(&config(2, 4, 8));
+        let wide = simulate_arena(&ArenaConfig { probe: 4, ..config(2, 4, 8) });
+        assert!(
+            wide.collision_rate > narrow.collision_rate,
+            "wide {wide:?} must beat narrow {narrow:?}"
+        );
+        assert!(wide.is_exact_range && narrow.is_exact_range);
+        assert_eq!(wide.collisions + wide.fallbacks, wide.ops);
+    }
+
+    #[test]
+    fn probe_window_is_clamped_to_the_slot_count() {
+        let clamped = simulate_arena(&ArenaConfig { probe: 64, ..config(8, 4, 6) });
+        let full = simulate_arena(&ArenaConfig { probe: 4, ..config(8, 4, 6) });
+        assert_eq!(clamped, full, "probing past the arena is the same as probing all of it");
+    }
+
+    #[test]
+    #[should_panic(expected = "probe window needs at least one slot")]
+    fn zero_probe_rejected() {
+        let _ = simulate_arena(&ArenaConfig { probe: 0, ..config(1, 1, 1) });
     }
 
     #[test]

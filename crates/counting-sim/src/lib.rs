@@ -17,7 +17,7 @@
 //! * Stalls are accounted per balancer and per layer, so the contention of
 //!   the blocks `N_a`, `N_b`, `N_c` of `C(w, t)` can be separated
 //!   (Section 1.3.2).
-//! * [`schedulers`] include round-robin (lock-step waves — the
+//! * [`scheduler`]s include round-robin (lock-step waves — the
 //!   high-contention regime the bounds are stated for), uniformly random,
 //!   and a greedy "hotspot" adversary that preferentially drains the most
 //!   crowded balancer.

@@ -13,8 +13,8 @@
 //! 2. **The ladder `L(w)` in front of the recursive halves**, which bounds
 //!    the difference of the halves' token counts by `w/2` — exactly the
 //!    contract `M(t, w/2)` requires. [`counting_network_no_ladder`] omits
-//!    the ladder; the result is *not* a counting network, and
-//!    [`tests`] exhibit concrete counterexamples.
+//!    the ladder; the result is *not* a counting network, and the unit
+//!    tests of this module exhibit concrete counterexamples.
 //!
 //! These constructions exist for the ablation experiments (`exp_ablation`,
 //! bench `merger_ablation`) and for tests; production users should use

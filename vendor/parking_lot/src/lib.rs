@@ -1,10 +1,14 @@
 //! Offline, API-compatible subset of the `parking_lot` crate.
 //!
-//! Backed by `std::sync` primitives; the `parking_lot` API difference the
-//! workspace relies on is only the poison-free `lock()` signature.
+//! Backed by `std::sync` primitives; the `parking_lot` API differences
+//! the workspace relies on are the poison-free `lock()` signature and the
+//! in-place `Condvar::wait`/`wait_for` signatures (the guard is passed by
+//! `&mut` instead of by value).
 
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::PoisonError;
+use std::time::Duration;
 
 /// A guard releasing the mutex on drop.
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
@@ -98,9 +102,147 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed
+/// rather than because of a notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with the `parking_lot` signatures: the guard is
+/// re-acquired *in place* (`&mut MutexGuard`) and waits never report
+/// poisoning. Wakeups may be spurious — callers must re-check their
+/// condition in a loop, exactly as with `std::sync::Condvar`.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+/// Runs `f` on the guard owned by `slot`, replacing it with the guard `f`
+/// returns. The temporary move out of `slot` is why `f` must not unwind:
+/// an escaped panic would leave `slot` logically uninitialized and the
+/// caller's eventual drop would unlock the mutex twice, so this aborts
+/// instead. The only panic `std::sync::Condvar` can raise here (beyond
+/// poisoning, which is swallowed) is the multiple-mutexes misuse, a
+/// programming error for which an abort is an acceptable report.
+fn replace_guard<'a, T>(
+    slot: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    // SAFETY: `slot` is a valid initialized guard; it is read out exactly
+    // once and unconditionally written back (any unwind in between aborts
+    // the process, so the double-drop window is unreachable).
+    unsafe {
+        let owned = std::ptr::read(slot);
+        let owned = std::panic::catch_unwind(AssertUnwindSafe(|| f(owned)))
+            .unwrap_or_else(|_| std::process::abort());
+        std::ptr::write(slot, owned);
+    }
+}
+
+impl Condvar {
+    /// Creates a condition variable ready for use.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { inner: std::sync::Condvar::new() }
+    }
+
+    /// Wakes one thread blocked on this condition variable.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every thread blocked on this condition variable.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Atomically releases the guarded mutex and blocks until notified,
+    /// re-acquiring the lock (into the same guard) before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(guard, |g| self.inner.wait(g).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Like [`Self::wait`], but gives up once `timeout` has elapsed.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_guard(guard, |g| {
+            let (g, result) =
+                self.inner.wait_timeout(g, timeout).unwrap_or_else(PoisonError::into_inner);
+            timed_out = result.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn condvar_wait_is_woken_by_notify() {
+        let pair = (Mutex::new(false), Condvar::new());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let (lock, cvar) = &pair;
+                std::thread::sleep(Duration::from_millis(10));
+                *lock.lock() = true;
+                cvar.notify_all();
+            });
+            let (lock, cvar) = &pair;
+            let mut ready = lock.lock();
+            while !*ready {
+                cvar.wait(&mut ready);
+            }
+            assert!(*ready);
+        });
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_without_a_notification() {
+        let lock = Mutex::new(());
+        let cvar = Condvar::new();
+        let mut guard = lock.lock();
+        let start = Instant::now();
+        let result = cvar.wait_for(&mut guard, Duration::from_millis(5));
+        assert!(result.timed_out());
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        drop(guard);
+        assert!(lock.try_lock().is_some(), "the guard still owns the lock until dropped");
+    }
+
+    #[test]
+    fn condvar_wait_for_reports_no_timeout_when_notified() {
+        let pair = (Mutex::new(false), Condvar::new());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let (lock, cvar) = &pair;
+                std::thread::sleep(Duration::from_millis(5));
+                *lock.lock() = true;
+                cvar.notify_one();
+            });
+            let (lock, cvar) = &pair;
+            let mut ready = lock.lock();
+            while !*ready {
+                // Generous bound: the test only needs *some* non-timeout
+                // wakeup to be observed before the deadline.
+                let result = cvar.wait_for(&mut ready, Duration::from_secs(30));
+                assert!(!result.timed_out());
+            }
+        });
+    }
 
     #[test]
     fn lock_round_trip() {

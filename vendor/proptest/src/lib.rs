@@ -291,7 +291,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Sizes accepted by [`vec`]: an exact length or a length range.
+    /// Sizes accepted by [`vec()`]: an exact length or a length range.
     pub trait SizeRange {
         /// Draws a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
