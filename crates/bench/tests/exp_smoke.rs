@@ -204,6 +204,66 @@ fn exp_elimination_quick_writes_json_file_and_honors_strategy_flag() {
 }
 
 #[test]
+fn exp_service_quick_passes_its_gate_for_both_network_backends() {
+    // The E15 gate: 64 tenants × 8 threads under Zipf-skewed popularity
+    // with idle-tenant churn — every tenant's hand-out must be unique
+    // and exact-range (the binary exits nonzero otherwise, which
+    // run_quick rejects), and the JSON must carry per-tenant plus
+    // aggregate rates for both the raw network backend and the
+    // elimination-wrapped one.
+    let path = std::env::temp_dir().join(format!("exp_service_smoke_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_service"), &["--quick", "--json", path_str]);
+    assert!(stdout.lines().any(|l| l.starts_with("| ")), "no Markdown table:\n{stdout}");
+    assert!(stdout.contains("## E15"), "missing section heading:\n{stdout}");
+    assert!(
+        !stdout.lines().any(|l| l.starts_with("| ") && l.contains("BROKEN")),
+        "service matrix reported a violation:\n{stdout}"
+    );
+    for backend in ["backend=C(16,16) ", "backend=C(16,16)+elim["] {
+        assert!(
+            stdout.lines().any(|l| l.starts_with("E15-aggregate") && l.contains(backend)),
+            "missing aggregate line for {backend}:\n{stdout}"
+        );
+    }
+    let json = std::fs::read_to_string(&path).expect("JSON file written");
+    assert!(json.contains("\"backend\":\"C(16,16)\""), "missing raw network report: {json}");
+    assert!(json.contains("\"backend\":\"C(16,16)+elim["), "missing elim-wrapped report: {json}");
+    assert!(json.contains("\"tenant_stats\":["), "missing per-tenant stats: {json}");
+    assert!(json.contains("\"aggregate_values_per_second\":"), "missing aggregate rate: {json}");
+    assert!(json.contains("\"tenant\":\"tenant-063\""), "missing the 64th tenant: {json}");
+    for field in ["duplicates", "out_of_range", "range_violations"] {
+        assert_every_report_has_zero(&json, field);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Docs-drift gate: `REPRODUCING.md` maps every experiment binary to the
+/// paper result it reproduces. A new `exp_*` binary that is not added to
+/// the map fails the suite (CI re-checks the same invariant with a grep
+/// so the docs cannot rot even when tests are skipped).
+#[test]
+fn reproducing_md_names_every_exp_binary() {
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    let reproducing = std::fs::read_to_string(format!("{manifest}/../../REPRODUCING.md"))
+        .expect("REPRODUCING.md exists at the workspace root");
+    let bin_dir = std::fs::read_dir(format!("{manifest}/src/bin")).expect("bin dir exists");
+    let mut checked = 0;
+    for entry in bin_dir {
+        let name = entry.expect("readable dir entry").file_name();
+        let name = name.to_str().expect("utf-8 file name");
+        if let Some(bin) = name.strip_suffix(".rs") {
+            assert!(
+                reproducing.contains(bin),
+                "REPRODUCING.md does not mention `{bin}` — add it to the experiment map"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "expected to check every exp_* binary, found {checked}");
+}
+
+#[test]
 fn exp_stress_quick_writes_json_file() {
     // Unique per-process path: concurrent test-suite runs on one machine
     // must not race on a shared temp file.

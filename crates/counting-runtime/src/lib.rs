@@ -46,6 +46,66 @@
 //! the counting guarantee rests only on the per-location modification
 //! orders, not on cross-location happens-before — which is also what makes
 //! the structure genuinely low-contention in hardware.
+//!
+//! # Quick start
+//!
+//! Construct any of the four counter families, draw values, and batch:
+//!
+//! ```
+//! use counting::counting_network;
+//! use counting_runtime::{
+//!     CentralCounter, DiffractingCounter, LockCounter, NetworkCounter, SharedCounter,
+//! };
+//!
+//! // The paper's counting network, compiled to atomics.
+//! let net = counting_network(4, 8).expect("valid parameters");
+//! let counter = NetworkCounter::new("C(4,8)", &net);
+//! assert_ne!(counter.next(0), counter.next(1), "values are unique");
+//!
+//! // One traversal reserves a whole stride of values.
+//! let mut batch = Vec::new();
+//! counter.next_batch(2, 4, &mut batch);
+//! assert_eq!(batch.len(), 4);
+//!
+//! // The baselines share the same trait, so harnesses take any of them.
+//! let subjects: Vec<Box<dyn SharedCounter>> = vec![
+//!     Box::new(CentralCounter::new()),
+//!     Box::new(LockCounter::new()),
+//!     Box::new(DiffractingCounter::new(4, 8, 128)),
+//! ];
+//! for subject in &subjects {
+//!     assert_eq!(subject.next(0), 0, "{} starts at zero", subject.describe());
+//! }
+//! ```
+//!
+//! Wrap any [`BlockReserve`] counter in the elimination arena for
+//! gap-free **mixed-size** batching, picking the [`WaitStrategy`] that
+//! matches your thread-to-core ratio:
+//!
+//! ```
+//! use counting::counting_network;
+//! use counting_runtime::{
+//!     EliminationConfig, EliminationCounter, NetworkCounter, SharedCounter, WaitStrategy,
+//! };
+//!
+//! let net = counting_network(4, 8).expect("valid parameters");
+//! let config = EliminationConfig {
+//!     // Park surrenders the publisher's core to its potential partner —
+//!     // the robust choice when runnable threads outnumber cpus.
+//!     strategy: WaitStrategy::Park,
+//!     ..EliminationConfig::default()
+//! };
+//! let counter = EliminationCounter::with_config(NetworkCounter::new("C(4,8)", &net), config);
+//!
+//! // Any mix of batch sizes tiles the value space exactly.
+//! let mut values = Vec::new();
+//! for (op, k) in [3usize, 1, 7, 2].into_iter().enumerate() {
+//!     counter.next_batch(op, k, &mut values);
+//! }
+//! values.sort();
+//! assert_eq!(values, (0..13).collect::<Vec<u64>>(), "exact range, no gaps");
+//! assert!(counter.describe().ends_with("elim[4:park]"));
+//! ```
 
 #![warn(missing_docs)]
 
@@ -62,5 +122,7 @@ pub use counter::{BlockReserve, CentralCounter, LockCounter, NetworkCounter, Sha
 pub use diffracting::DiffractingCounter;
 pub use elimination::{EliminationConfig, EliminationCounter};
 pub use stress::{run_stress, Batching, Scenario, StressConfig, StressReport, ValueBitmap};
-pub use throughput::{measure_batched_throughput, measure_throughput, ThroughputMeasurement};
+pub use throughput::{
+    measure_batched_throughput, measure_throughput, MeasuredWindow, ThroughputMeasurement,
+};
 pub use waiting::{ParkTable, WaitStrategy};

@@ -20,7 +20,8 @@ use crate::counter::SharedCounter;
 /// instead would under-count whenever the OS runs the workers to
 /// completion before handing the coordinator the CPU back (routine on an
 /// oversubscribed machine).
-pub(crate) struct MeasuredWindow {
+#[derive(Debug)]
+pub struct MeasuredWindow {
     barrier: Barrier,
     first_start: AtomicU64,
     last_end: AtomicU64,
@@ -28,7 +29,10 @@ pub(crate) struct MeasuredWindow {
 }
 
 impl MeasuredWindow {
-    pub(crate) fn new(threads: usize) -> Self {
+    /// Creates a window whose start barrier releases once `threads`
+    /// workers have entered.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
         Self {
             barrier: Barrier::new(threads),
             first_start: AtomicU64::new(u64::MAX),
@@ -45,19 +49,20 @@ impl MeasuredWindow {
 
     /// Blocks until every worker has arrived, then records the release
     /// instant. Call once per worker, before its workload.
-    pub(crate) fn enter(&self) {
+    pub fn enter(&self) {
         self.barrier.wait();
         self.first_start.fetch_min(self.nanos(), Ordering::Relaxed);
     }
 
     /// Records the worker's completion instant. Call once per worker,
     /// after its workload.
-    pub(crate) fn exit(&self) {
+    pub fn exit(&self) {
         self.last_end.fetch_max(self.nanos(), Ordering::Relaxed);
     }
 
     /// The measured window. Meaningful only after all workers finished.
-    pub(crate) fn elapsed(&self) -> Duration {
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
         Duration::from_nanos(
             self.last_end
                 .load(Ordering::Relaxed)

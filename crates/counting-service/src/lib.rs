@@ -1,0 +1,72 @@
+//! # counting-service — a multi-tenant counter serving layer
+//!
+//! Everything below `counting-runtime` constructs and tortures *one*
+//! counter at a time; real serving workloads own **many named counters
+//! at once** — per-flow accounting, per-queue admission ticketing,
+//! per-tenant id allocation — with tenants arriving, churning and
+//! disappearing while traffic flows. This crate is that layer:
+//!
+//! * [`CounterService`] — a sharded, concurrent registry mapping tenant
+//!   names to lazily-constructed counters. Lookups of existing tenants
+//!   take one shard read lock; creation and eviction serialize only
+//!   their shard. Every tenant stream is drawn through contiguous
+//!   [`counting_runtime::BlockReserve`] blocks, so each tenant's
+//!   hand-out tiles `0..issued` for any batch-size mix — and eviction
+//!   records a watermark that re-creation resumes from, so a tenant's
+//!   values stay unique across its whole service lifetime.
+//! * [`ServiceConfig`] — the per-service construction policy: which
+//!   [`Backend`] (counting network, diffracting tree, central,
+//!   mutex), the network width, and whether/how to wrap each tenant in
+//!   an elimination arena ([`counting_runtime::EliminationCounter`]
+//!   with a chosen [`counting_runtime::WaitStrategy`]).
+//! * Workload adapters on top of any tenant handle: [`IdGenerator`]
+//!   (batched id leases with local refill), [`TicketGate`]
+//!   (ticket-lock admission), [`RateLimiter`] (windowed token
+//!   counting).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use counting_runtime::SharedCounter;
+//! use counting_service::{Backend, CounterService, ServiceConfig};
+//!
+//! // One service, many tenants: network-backed, elimination-wrapped.
+//! let service = CounterService::new(ServiceConfig {
+//!     backend: Backend::Network,
+//!     width: 8,
+//!     ..ServiceConfig::default()
+//! });
+//!
+//! // Per-flow accounting: each flow's stream is independent and dense.
+//! let flow = service.get_or_create("flows/10.0.0.7");
+//! assert_eq!(flow.next(0), 0);
+//! let mut burst = Vec::new();
+//! flow.next_batch(0, 5, &mut burst);
+//! assert_eq!(burst, vec![1, 2, 3, 4, 5]);
+//!
+//! // Admission ticketing on another tenant.
+//! let gate = service.ticket_gate("checkout");
+//! let ticket = gate.acquire(0);
+//! gate.admit(1);
+//! assert!(gate.is_admitted(ticket));
+//!
+//! // Tenant churn: idle tenants retire, their streams resume later.
+//! drop(flow);
+//! assert!(service.evict_idle() >= 1);
+//! let revived = service.get_or_create("flows/10.0.0.7");
+//! assert_eq!(revived.next(0), 6, "the stream resumed past the eviction");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod id_gen;
+pub mod rate;
+pub mod registry;
+pub mod ticket;
+
+pub use id_gen::{IdGenerator, DEFAULT_LEASE};
+pub use rate::RateLimiter;
+pub use registry::{
+    Backend, CounterService, EvictOutcome, ServiceConfig, TenantCounter, DEFAULT_SHARDS,
+};
+pub use ticket::TicketGate;

@@ -20,6 +20,9 @@
 //!   and schedulers;
 //! * [`runtime`] (crate `counting-runtime`) — compiled lock-free networks
 //!   and Fetch&Increment counters driven by real threads;
+//! * [`service`] (crate `counting-service`) — the multi-tenant serving
+//!   layer: a sharded registry of named counters plus id-lease, ticket
+//!   and rate-limit workload adapters;
 //! * [`sorting`] (crate `sortnet`) — comparator networks derived from the
 //!   counting constructions.
 //!
@@ -73,6 +76,12 @@ pub mod sim {
 /// `counting-runtime` crate).
 pub mod runtime {
     pub use counting_runtime::*;
+}
+
+/// Multi-tenant counter serving layer (re-export of the
+/// `counting-service` crate).
+pub mod service {
+    pub use counting_service::*;
 }
 
 /// Sorting networks derived from counting networks (re-export of the
