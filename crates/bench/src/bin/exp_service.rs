@@ -140,6 +140,8 @@ fn run_backend(
                     let counter = service.get_or_create(&names[tenant]);
                     scratch.clear();
                     counter.next_batch(tid, k, &mut scratch);
+                    // Relaxed tallies: monotone statistics, never a
+                    // control input; read back only after the join.
                     for &value in &scratch {
                         if value >= capacity {
                             out_of_range.fetch_add(1, Ordering::Relaxed);
@@ -156,6 +158,7 @@ fn run_backend(
         let (service, finished, evictions) = (&service, &finished, &evictions);
         scope.spawn(move || {
             while finished.load(Ordering::Acquire) < threads {
+                // Relaxed: monotone statistic, never a control input.
                 evictions.fetch_add(service.evict_idle() as u64, Ordering::Relaxed);
                 std::thread::sleep(Duration::from_micros(200));
             }
@@ -197,6 +200,7 @@ fn run_backend(
         total_values,
         elapsed_secs: elapsed,
         aggregate_values_per_second: total_values as f64 / elapsed,
+        // Relaxed loads: post-join quiescent reads.
         evictions: evictions.load(Ordering::Relaxed),
         duplicates: duplicates.iter().map(|d| d.load(Ordering::Relaxed)).sum::<u64>(),
         out_of_range: out_of_range.load(Ordering::Relaxed),

@@ -276,3 +276,26 @@ fn exp_stress_quick_writes_json_file() {
     assert!(json.contains("\"scenario\":\"steady\""), "missing steady reports: {json}");
     let _ = std::fs::remove_file(&path);
 }
+
+/// Smoke for the interleaving checker: only compiled when the bench
+/// crate is built with `--features model` (the binary's
+/// `required-features`), i.e. in the CI `model-check` job — the default
+/// test run must not drag the model shims into every dependent crate.
+#[cfg(feature = "model")]
+#[test]
+fn exp_model_quick_prints_tables_and_catches_every_mutation() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_model"), &["--quick"]);
+    assert!(stdout.lines().any(|l| l.starts_with("| ")), "no Markdown table:\n{stdout}");
+    assert!(stdout.lines().any(|l| l.starts_with("## ")), "no section heading:\n{stdout}");
+    // One row per seeded mutation, each caught and replayed; run_quick
+    // already rejected a nonzero exit, so FAIL rows cannot be present.
+    assert_eq!(
+        stdout.lines().filter(|l| l.contains("caught + replayed")).count(),
+        3,
+        "expected all three seeded mutations caught:\n{stdout}"
+    );
+    assert!(
+        !stdout.lines().any(|l| l.contains("FAIL")),
+        "a scenario failed without a nonzero exit:\n{stdout}"
+    );
+}

@@ -116,6 +116,7 @@ impl CompiledNetwork {
     /// exact only in a quiescent state).
     #[must_use]
     pub fn balancer_loads(&self) -> Vec<u64> {
+        // Relaxed: reporting-only snapshot, exact at quiescence.
         self.balancers.iter().map(|b| b.processed.load(Ordering::Relaxed)).collect()
     }
 
@@ -131,6 +132,7 @@ impl CompiledNetwork {
         // order is unnecessary here — each balancer records its own total,
         // so we can directly add its per-output distribution.
         for b in self.balancers.iter() {
+            // Relaxed: reporting-only snapshot, exact at quiescence.
             let total = b.processed.load(Ordering::Relaxed);
             for (i, route) in b.outputs.iter().enumerate() {
                 if let Route::Output(o) = route {

@@ -180,6 +180,9 @@ impl SharedCounter for NetworkCounter {
         let wire = thread_id % self.network.input_width();
         let out = self.network.traverse(wire);
         let t = self.network.output_width() as u64;
+        // Relaxed: uniqueness rests on this RMW's per-location
+        // modification order alone; no cross-location publication rides
+        // on a handed-out value.
         self.dispensers[out].fetch_add(t, Ordering::Relaxed)
     }
 
@@ -192,6 +195,8 @@ impl SharedCounter for NetworkCounter {
         let wire = thread_id % self.network.input_width();
         let exit = self.network.traverse(wire);
         let t = self.network.output_width() as u64;
+        // Relaxed: stride reservation — same per-location argument as
+        // `next`.
         let base = self.dispensers[exit].fetch_add(t * k as u64, Ordering::Relaxed);
         out.extend((0..k as u64).map(|i| base + i * t));
     }
@@ -212,6 +217,8 @@ impl BlockReserve for NetworkCounter {
         // colliding requests upstream.
         let wire = thread_id % self.network.input_width();
         let _ = self.network.traverse(wire);
+        // Relaxed: the single cursor's modification order makes blocks
+        // contiguous and disjoint by itself.
         self.block_cursor.fetch_add(k as u64, Ordering::Relaxed)
     }
 }
@@ -233,10 +240,13 @@ impl CentralCounter {
 
 impl SharedCounter for CentralCounter {
     fn next(&self, _thread_id: usize) -> u64 {
+        // Relaxed: one word, one modification order — the definition of
+        // a correct (if contended) Fetch&Increment.
         self.value.fetch_add(1, Ordering::Relaxed)
     }
 
     fn next_batch(&self, _thread_id: usize, k: usize, out: &mut Vec<u64>) {
+        // Relaxed: same single-word argument as `next`.
         let base = self.value.fetch_add(k as u64, Ordering::Relaxed);
         out.extend(base..base + k as u64);
     }

@@ -56,6 +56,7 @@ impl PrismNode {
                 for _ in 0..spin {
                     if slot.load(Ordering::Acquire) == CAPTURED {
                         slot.store(EMPTY, Ordering::Release);
+                        // Relaxed: monotone statistic, never a control input.
                         collisions.fetch_add(1, Ordering::Relaxed);
                         return 0;
                     }
@@ -67,6 +68,7 @@ impl PrismNode {
                     Err(_) => {
                         // A partner captured us concurrently.
                         slot.store(EMPTY, Ordering::Release);
+                        // Relaxed: monotone statistic, never a control input.
                         collisions.fetch_add(1, Ordering::Relaxed);
                         return 0;
                     }
@@ -78,6 +80,7 @@ impl PrismNode {
                     .compare_exchange(WAITING, CAPTURED, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
+                    // Relaxed: monotone statistic, never a control input.
                     collisions.fetch_add(1, Ordering::Relaxed);
                     return 1;
                 }
@@ -85,6 +88,10 @@ impl PrismNode {
             Err(_) => {}
         }
         // Fallback: the classic toggle balancer.
+        // Relaxed: the routing decision needs only this RMW's returned
+        // value — balancer correctness (the step property) rests on the
+        // toggle word's modification order, not on cross-location
+        // ordering.
         (self.toggle.fetch_add(1, Ordering::Relaxed) & 1) as usize
     }
 }
@@ -139,6 +146,7 @@ impl DiffractingCounter {
     /// how much traffic bypassed the toggles).
     #[must_use]
     pub fn collisions(&self) -> u64 {
+        // Relaxed: reporting-only read of a monotone statistic.
         self.collisions.load(Ordering::Relaxed)
     }
 
@@ -167,6 +175,8 @@ impl DiffractingCounter {
 impl SharedCounter for DiffractingCounter {
     fn next(&self, thread_id: usize) -> u64 {
         let leaf = self.descend(thread_id);
+        // Relaxed: uniqueness rests on the dispenser's per-location
+        // modification order alone (see NetworkCounter::next).
         self.dispensers[leaf].fetch_add(self.width as u64, Ordering::Relaxed)
     }
 
@@ -179,6 +189,8 @@ impl SharedCounter for DiffractingCounter {
         // semantics of stride reservations).
         let leaf = self.descend(thread_id);
         let w = self.width as u64;
+        // Relaxed: stride reservation — same per-location argument as
+        // `next`.
         let base = self.dispensers[leaf].fetch_add(w * k as u64, Ordering::Relaxed);
         out.extend((0..k as u64).map(|i| base + i * w));
     }
@@ -195,6 +207,8 @@ impl BlockReserve for DiffractingCounter {
         // traffic on the way down, while the contiguous cursor makes
         // mixed-size blocks tile (per-leaf stride dispensers cannot).
         let _ = self.descend(thread_id);
+        // Relaxed: the single cursor's modification order makes blocks
+        // contiguous and disjoint by itself.
         self.block_cursor.fetch_add(k as u64, Ordering::Relaxed)
     }
 }

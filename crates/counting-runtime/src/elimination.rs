@@ -84,12 +84,17 @@
 //! that skip rounds instead of losing patience — so measured collision
 //! rates can be compared against schedule-controlled predictions.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use crossbeam::utils::CachePadded;
 
 use crate::counter::{BlockReserve, SharedCounter};
+// The model-checking seam: real std atomics unless the `model` feature is
+// on, in which case every operation is a scheduling point of the
+// exhaustive interleaving explorer (see crate::sync).
+use crate::sync::{AtomicI64, AtomicU64};
 use crate::waiting::{ParkTable, WaitStrategy};
 
 /// Default number of exchanger slots in the arena.
@@ -189,8 +194,11 @@ pub struct EliminationCounter<C: BlockReserve> {
     parking: ParkTable,
     collisions: AtomicU64,
     fallbacks: AtomicU64,
-    /// Counts first-burst timeouts; [`WaitStrategy::SpinYield`] yields
-    /// the core on every [`YIELD_PERIOD`]-th one (see [`Self::reserve`]).
+    /// Counts first-burst timeouts across all threads — a statistic only.
+    /// The [`WaitStrategy::SpinYield`] yield *cadence* is per-waiter
+    /// ([`YIELD_TICKS`]): when it was derived from this shared counter,
+    /// the ticks of other threads could keep one thread permanently off
+    /// the [`YIELD_PERIOD`] boundary and starve its yields.
     timeout_ticks: CachePadded<AtomicU64>,
     /// Adaptive offering score: merges replenish it, futile timeouts
     /// drain it; offers are only published while it is positive (see
@@ -205,6 +213,15 @@ pub struct EliminationCounter<C: BlockReserve> {
 /// the scheduler declines), so it is amortized over several offers
 /// instead of paid on every one.
 const YIELD_PERIOD: u64 = 8;
+
+thread_local! {
+    /// Per-waiter [`WaitStrategy::SpinYield`] timeout count, driving the
+    /// amortized-yield cadence. Thread-local on purpose: every waiter
+    /// yields on exactly every [`YIELD_PERIOD`]-th of *its own* timeouts.
+    /// (Shared across arenas on one thread — the cadence is a fairness
+    /// guarantee per thread, not an arena statistic.)
+    static YIELD_TICKS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Initial offering credit: a fresh arena publishes offers for at least
 /// this many futile spin timeouts before going quiet.
@@ -302,6 +319,7 @@ impl<C: BlockReserve> EliminationCounter<C> {
     /// number of combined reservations is `collisions() / 2`).
     #[must_use]
     pub fn collisions(&self) -> u64 {
+        // Relaxed: reporting-only read of a monotone statistic.
         self.collisions.load(Ordering::Relaxed)
     }
 
@@ -309,6 +327,7 @@ impl<C: BlockReserve> EliminationCounter<C> {
     /// a busy slot, or a lost capture race.
     #[must_use]
     pub fn fallbacks(&self) -> u64 {
+        // Relaxed: reporting-only read of a monotone statistic.
         self.fallbacks.load(Ordering::Relaxed)
     }
 
@@ -330,7 +349,10 @@ impl<C: BlockReserve> EliminationCounter<C> {
         if limit <= 1 {
             return limit;
         }
-        let score = self.score.load(Ordering::Relaxed);
+        // Acquire: this load feeds a control decision (how many slots the
+        // capture scan visits), so it must observe the credits published
+        // by other threads' merges, not an arbitrarily stale value.
+        let score = self.score.load(Ordering::Acquire);
         if score > INITIAL_SCORE / 2 {
             1
         } else if score > 0 {
@@ -346,22 +368,31 @@ impl<C: BlockReserve> EliminationCounter<C> {
     /// (merges refund credit, futile timeouts drain it), and a drained
     /// arena still retries periodically to notice new contention.
     fn should_offer(&self) -> bool {
-        self.score.load(Ordering::Relaxed) > 0
-            || self.fallbacks.load(Ordering::Relaxed).is_multiple_of(OFFER_RETRY_PERIOD)
+        // Acquire on both loads: they feed a control decision (whether to
+        // publish an offer at all), so the credit refunded by a partner's
+        // merge and the fallback count driving the periodic retry must
+        // both be observed promptly.
+        self.score.load(Ordering::Acquire) > 0
+            || self.fallbacks.load(Ordering::Acquire).is_multiple_of(OFFER_RETRY_PERIOD)
     }
 
     /// Credits one side of a successful merge.
     fn credit_merge(&self) {
+        // Relaxed: monotone statistic, never read for a control decision.
         self.collisions.fetch_add(1, Ordering::Relaxed);
-        self.score.fetch_add(MERGE_BONUS, Ordering::Relaxed);
+        // AcqRel: the refunded credit gates other threads' offer/probe
+        // decisions (should_offer, probe_window), so it must publish.
+        self.score.fetch_add(MERGE_BONUS, Ordering::AcqRel);
     }
 
     /// Drains offering credit after a futile timeout, floored so a long
     /// cold phase cannot dig a hole that takes hundreds of merges to
     /// climb out of — re-detection stays O(1).
     fn drain_score(&self, penalty: i64) {
-        if self.score.fetch_sub(penalty, Ordering::Relaxed) <= -INITIAL_SCORE {
-            self.score.store(-INITIAL_SCORE, Ordering::Relaxed);
+        // AcqRel/Release: the drained credit gates other threads'
+        // offer/probe decisions, so it must publish (see credit_merge).
+        if self.score.fetch_sub(penalty, Ordering::AcqRel) <= -INITIAL_SCORE {
+            self.score.store(-INITIAL_SCORE, Ordering::Release);
         }
     }
 
@@ -379,6 +410,19 @@ impl<C: BlockReserve> EliminationCounter<C> {
     /// (waking its parked publisher if this arena parks), ours returned.
     fn try_capture(&self, idx: usize, observed: u64, thread_id: usize, k: usize) -> Option<u64> {
         let slot = &self.slots[idx];
+        if crate::sync::mutation_enabled("arena-skip-claimed") {
+            // Seeded model mutation (never active outside an exploration):
+            // deposit without first moving the slot through CLAIMED. Two
+            // capturers can then both see the same OFFER, both reserve a
+            // combined block, and both deposit — one waiter share is lost
+            // and the value stream gaps. The model suite asserts the
+            // checker catches this.
+            let partner_k = (observed >> 2) as usize;
+            let base = self.inner.reserve_block(thread_id, partner_k + k);
+            slot.store(pack(base, FILLED), Ordering::Release);
+            self.credit_merge();
+            return Some(base + partner_k as u64);
+        }
         slot.compare_exchange(observed, CLAIMED, Ordering::AcqRel, Ordering::Acquire).ok()?;
         let partner_k = (observed >> 2) as usize;
         // One reservation for the sum; the waiter gets the first
@@ -424,12 +468,23 @@ impl<C: BlockReserve> EliminationCounter<C> {
             WaitStrategy::Spin => self.drain_score(1),
             WaitStrategy::SpinYield => {
                 self.drain_score(1);
+                // Relaxed: aggregate statistic only — the yield decision
+                // below deliberately does NOT read it (see YIELD_TICKS).
+                self.timeout_ticks.fetch_add(1, Ordering::Relaxed);
                 // A fraction of timeouts hands the core to a potential
                 // partner (spinning alone can never rendezvous when
                 // threads outnumber cores) and gives the returned-from-
-                // yield slice one more burst.
-                if self.timeout_ticks.fetch_add(1, Ordering::Relaxed).is_multiple_of(YIELD_PERIOD) {
-                    std::thread::yield_now();
+                // yield slice one more burst. The cadence is per-waiter:
+                // counting timeouts in the shared counter let other
+                // threads' ticks keep one thread permanently off the
+                // period boundary and starve its yields.
+                let tick = YIELD_TICKS.with(|t| {
+                    let tick = t.get();
+                    t.set(tick.wrapping_add(1));
+                    tick
+                });
+                if tick.is_multiple_of(YIELD_PERIOD) {
+                    crate::sync::model_yield();
                     if let Some(base) = self.spin_burst(idx) {
                         return Some(base);
                     }
@@ -485,6 +540,14 @@ impl<C: BlockReserve> EliminationCounter<C> {
             if word & TAG_MASK == FILLED {
                 return self.take_fill(slot, word);
             }
+            if crate::sync::in_model() {
+                // Under the interleaving model, every probe must be a
+                // *voluntary* yield so the DFS hands the schedule to the
+                // partner mid-reservation instead of spinning to the step
+                // bound.
+                crate::sync::model_yield();
+                continue;
+            }
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(1024) {
                 // The partner holds no lock, but it may be preempted
@@ -524,6 +587,9 @@ impl<C: BlockReserve> EliminationCounter<C> {
             for i in 0..window {
                 let idx = (home + i) % self.slots.len();
                 let slot = &self.slots[idx];
+                // Relaxed pre-check: purely an optimization to skip the
+                // CAS on busy slots — the CAS below is what decides, and
+                // a stale read only costs one wasted attempt.
                 if slot.load(Ordering::Relaxed) == EMPTY
                     && slot
                         .compare_exchange(EMPTY, offer, Ordering::AcqRel, Ordering::Acquire)
@@ -542,8 +608,20 @@ impl<C: BlockReserve> EliminationCounter<C> {
         // Busy window, lost race, quiet arena, or timeout: one solo
         // reservation against the underlying counter keeps the layer
         // obstruction-free.
-        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        //
+        // AcqRel: unlike the pure stats, this count feeds a control
+        // decision — should_offer's periodic re-detection divides it by
+        // OFFER_RETRY_PERIOD — so it must publish.
+        self.fallbacks.fetch_add(1, Ordering::AcqRel);
         self.inner.reserve_block(thread_id, k)
+    }
+
+    /// The raw slot words, for the model suite's quiescence checks
+    /// (`0` is the `EMPTY` encoding).
+    #[cfg(feature = "model")]
+    #[must_use]
+    pub fn arena_slot_words(&self) -> Vec<u64> {
+        self.slots.iter().map(|slot| slot.load(Ordering::Acquire)).collect()
     }
 }
 

@@ -113,7 +113,10 @@ pub mod compiled;
 pub mod counter;
 pub mod diffracting;
 pub mod elimination;
+#[cfg(feature = "model")]
+pub mod model_scenarios;
 pub mod stress;
+pub mod sync;
 pub mod throughput;
 pub mod waiting;
 

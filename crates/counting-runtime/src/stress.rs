@@ -82,12 +82,15 @@ impl ValueBitmap {
     pub fn mark(&self, value: u64) -> bool {
         assert!(value < self.capacity, "value {value} outside bitmap capacity {}", self.capacity);
         let bit = 1u64 << (value % 64);
+        // Relaxed: first-marker detection needs only the fetch_or's
+        // per-location atomicity — exactly one caller sees the bit clear.
         self.words[(value / 64) as usize].fetch_or(bit, Ordering::Relaxed) & bit == 0
     }
 
     /// Whether `value` has been marked.
     #[must_use]
     pub fn contains(&self, value: u64) -> bool {
+        // Relaxed: reporting-only query, exact at quiescence.
         value < self.capacity
             && self.words[(value / 64) as usize].load(Ordering::Relaxed) & (1 << (value % 64)) != 0
     }
@@ -96,6 +99,7 @@ impl ValueBitmap {
     /// quiescence (no `mark` in flight).
     #[must_use]
     pub fn missing(&self) -> u64 {
+        // Relaxed: reporting-only query, exact at quiescence.
         let set: u64 =
             self.words.iter().map(|w| u64::from(w.load(Ordering::Relaxed).count_ones())).sum();
         self.capacity - set
@@ -113,6 +117,7 @@ impl ValueBitmap {
             return missing;
         }
         'words: for (idx, word) in self.words.iter().enumerate() {
+            // Relaxed: reporting-only query, exact at quiescence.
             let set = word.load(Ordering::Relaxed);
             if set == u64::MAX {
                 continue;
@@ -375,9 +380,12 @@ struct Inspector<'a> {
 impl Inspector<'_> {
     fn check(&self, value: u64) {
         if value >= self.bitmap.capacity() {
+            // Relaxed: monotone violation tally; the offender list is
+            // serialized by its own mutex.
             let seen = self.out_of_range.fetch_add(1, Ordering::Relaxed);
             record_offender(seen, &self.first_out_of_range, value);
         } else if !self.bitmap.mark(value) {
+            // Relaxed: monotone violation tally (see above).
             let seen = self.duplicates.fetch_add(1, Ordering::Relaxed);
             record_offender(seen, &self.first_duplicates, value);
         }
@@ -476,6 +484,7 @@ pub fn run_stress<C: SharedCounter + ?Sized>(counter: &C, config: &StressConfig)
         threads: config.threads,
         batch: config.batch.label(),
         total_values: m,
+        // Relaxed loads: post-join quiescent reads.
         duplicates: inspector.duplicates.load(Ordering::Relaxed),
         missing: bitmap.missing(),
         out_of_range: inspector.out_of_range.load(Ordering::Relaxed),

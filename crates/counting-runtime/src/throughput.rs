@@ -51,18 +51,22 @@ impl MeasuredWindow {
     /// instant. Call once per worker, before its workload.
     pub fn enter(&self) {
         self.barrier.wait();
+        // Relaxed: min/max envelope bookkeeping — the barrier orders the
+        // workers, the RMW's per-location order keeps the envelope exact.
         self.first_start.fetch_min(self.nanos(), Ordering::Relaxed);
     }
 
     /// Records the worker's completion instant. Call once per worker,
     /// after its workload.
     pub fn exit(&self) {
+        // Relaxed: envelope bookkeeping (see `enter`).
         self.last_end.fetch_max(self.nanos(), Ordering::Relaxed);
     }
 
     /// The measured window. Meaningful only after all workers finished.
     #[must_use]
     pub fn elapsed(&self) -> Duration {
+        // Relaxed loads: post-join quiescent reads.
         Duration::from_nanos(
             self.last_end
                 .load(Ordering::Relaxed)

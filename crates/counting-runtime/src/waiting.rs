@@ -201,6 +201,14 @@ impl ParkTable {
     /// Panics if `slot` is out of range.
     pub fn park_until(&self, slot: usize, timeout: Duration, filled: impl Fn() -> bool) -> bool {
         let seat = &self.seats[slot];
+        if crate::sync::in_model() {
+            // Under the interleaving model, OS blocking would deadlock
+            // the cooperative scheduler (a parked thread never reaches a
+            // scheduling point). A bounded poll with voluntary yields
+            // models the same contract: either the condition is observed
+            // or the park "times out".
+            return crate::sync::park_poll(filled);
+        }
         // `None` = unrepresentable deadline = wait indefinitely.
         let deadline = Instant::now().checked_add(timeout);
         let mut guard = seat.lock.lock();
@@ -231,6 +239,12 @@ impl ParkTable {
     ///
     /// Panics if `slot` is out of range.
     pub fn unpark(&self, slot: usize) {
+        if crate::sync::in_model() {
+            // Model parking is a poll loop (see park_until): there is no
+            // sleeper to wake, and taking a real OS lock here could block
+            // while holding the model scheduler's grant.
+            return;
+        }
         let seat = &self.seats[slot];
         let _guard = seat.lock.lock();
         seat.wakeups.notify_all();

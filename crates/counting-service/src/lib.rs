@@ -60,8 +60,11 @@
 #![warn(missing_docs)]
 
 pub mod id_gen;
+#[cfg(feature = "model")]
+pub mod model_scenarios;
 pub mod rate;
 pub mod registry;
+pub mod sync;
 pub mod ticket;
 
 pub use id_gen::{IdGenerator, DEFAULT_LEASE};

@@ -1,10 +1,19 @@
 //! Windowed rate limiting by token *counting*: admission decisions read
 //! off a shared counter instead of a contended decrement hotspot.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use counting_runtime::SharedCounter;
+
+use crate::sync::{in_model, model_yield, mutation_enabled, AtomicU64};
+
+/// How many times an admission decision re-reads the window epoch while
+/// a rollover is mid-install (or keeps losing races to one) before it
+/// gives up and sheds the request. A rollover is two plain stores, so in
+/// practice one retry suffices; the bound exists so a preempted opener
+/// can only ever delay other requests, never block them.
+const ROLLOVER_RETRIES: usize = 16;
 
 /// A fixed-window rate limiter backed by a shared counter.
 ///
@@ -19,15 +28,33 @@ use counting_runtime::SharedCounter;
 /// Windows are identified by an explicit caller-supplied index (e.g.
 /// `now.as_secs() / window_len`), which keeps the type clock-free and
 /// its tests deterministic. Indices must be non-decreasing per caller;
-/// the limiter tracks the highest index seen.
+/// the limiter tracks the highest index seen. Indices must stay below
+/// `u64::MAX / 2` (they are packed into a versioned epoch word).
 ///
-/// Concurrency note: requests racing a window rollover may be judged
-/// against the old or the new base — the admitted count per wall-clock
-/// window is then approximate (bounded by `limit` per *observed* base),
-/// which is the usual fixed-window trade-off. The base watermark is
-/// updated monotonically (`fetch_max`), so a delayed opener of an older
-/// window can never regress a newer window's base. Within a settled
-/// window the bound is exact.
+/// # The admission guarantee
+///
+/// The window index and its base watermark are published together
+/// through a seqlock-style epoch word (`2·w` while window `w`'s base is
+/// readable, `2·w + 1` while the window's opener is installing it), so
+/// every judged request compares its value against the base of *exactly*
+/// the window it names. That closes both classic fixed-window races:
+///
+/// * **No double admission across a boundary.** A request naming an
+///   already-closed window is always shed — it can never be judged
+///   against a *newer* window's base and steal that window's budget
+///   (which is how a burst straddling the boundary could previously
+///   admit up to twice the limit across the two window indices).
+/// * **At most `limit` per window index, always.** The window's opener
+///   is admitted as request `0` (its own counter value *is* the base),
+///   and every other admitted request holds a distinct counter value in
+///   `base..base + limit` — `limit` admissions total, with the boundary
+///   value `base + limit` shed (no off-by-one at exactly-the-limit).
+///
+/// Within a settled window the bound is exact: the first `limit` values
+/// pass and the rest are shed. While a rollover is being installed,
+/// racing requests re-read the epoch a bounded number of times (16)
+/// and then fail *closed* — a stalled opener can
+/// cause bounded under-admission, never over-admission.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -39,13 +66,17 @@ use counting_runtime::SharedCounter;
 /// assert!(limiter.try_acquire(0, 0));
 /// assert!(!limiter.try_acquire(0, 0), "the window's budget is spent");
 /// assert!(limiter.try_acquire(0, 1), "a new window refills it");
+/// assert!(!limiter.try_acquire(0, 0), "a closed window admits nothing");
 /// ```
 pub struct RateLimiter {
     counter: Arc<dyn SharedCounter + Send + Sync>,
     limit: u64,
-    /// Highest window index seen.
-    window: AtomicU64,
-    /// Counter watermark at the current window's start.
+    /// The seqlock epoch: `2·w` while window `w` and its base are
+    /// published and stable, `2·w + 1` while `w`'s opener is installing
+    /// the base.
+    epoch: AtomicU64,
+    /// Counter watermark at the current window's start; meaningful only
+    /// when the epoch is even.
     base: AtomicU64,
 }
 
@@ -54,7 +85,7 @@ impl std::fmt::Debug for RateLimiter {
         f.debug_struct("RateLimiter")
             .field("counter", &self.counter.describe())
             .field("limit", &self.limit)
-            .field("window", &self.window)
+            .field("epoch", &self.epoch)
             .field("base", &self.base)
             .finish()
     }
@@ -70,7 +101,7 @@ impl RateLimiter {
     #[must_use]
     pub fn new(counter: Arc<dyn SharedCounter + Send + Sync>, limit: u64) -> Self {
         assert!(limit > 0, "the per-window limit must be at least 1");
-        Self { counter, limit, window: AtomicU64::new(0), base: AtomicU64::new(0) }
+        Self { counter, limit, epoch: AtomicU64::new(0), base: AtomicU64::new(0) }
     }
 
     /// The per-window admission budget.
@@ -82,28 +113,84 @@ impl RateLimiter {
     /// Counts this request against `window` and returns whether it is
     /// admitted. One shared-counter operation per call, admitted or not —
     /// shed traffic is counted too (that is what makes the decision
-    /// lock-free).
+    /// lock-free). See the type docs for the admission guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window >= u64::MAX / 2` (indices are packed into the
+    /// versioned epoch word).
     pub fn try_acquire(&self, thread_id: usize, window: u64) -> bool {
+        assert!(window < u64::MAX / 2, "window indices are packed into the epoch word");
         let value = self.counter.next(thread_id);
-        let mut current = self.window.load(Ordering::Acquire);
+        if mutation_enabled("rate-straddle") {
+            return self.try_acquire_straddling(value, window);
+        }
+        for _ in 0..ROLLOVER_RETRIES {
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let current = epoch / 2;
+            if window < current {
+                // The request's window has already closed. Shedding it
+                // unconditionally is what prevents the straddling burst:
+                // judged against the *newer* base it could be admitted
+                // and consume the new window's budget under the old
+                // window's name.
+                return false;
+            }
+            if epoch & 1 == 0 {
+                if window == current {
+                    let base = self.base.load(Ordering::Acquire);
+                    // Seqlock recheck: only judge if window and base
+                    // were stable across both reads — i.e. `base` is
+                    // this window's base, not a successor's.
+                    if self.epoch.load(Ordering::Acquire) == epoch {
+                        return value.wrapping_sub(base) < self.limit;
+                    }
+                } else if self
+                    .epoch
+                    .compare_exchange(epoch, 2 * window + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // This request opens the window: its own value is
+                    // the new base, so it is admitted as request 0. The
+                    // odd epoch keeps every judger out until the base
+                    // store below is published with the even epoch.
+                    self.base.store(value, Ordering::Release);
+                    self.epoch.store(2 * window, Ordering::Release);
+                    return true;
+                }
+            }
+            // Rollover mid-install, a lost open race, or a torn read:
+            // back off and re-read.
+            if in_model() {
+                model_yield();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // A stalled opener pins the epoch odd; fail closed.
+        false
+    }
+
+    /// The pre-fix admission algorithm, kept reachable only as the
+    /// `rate-straddle` seeded mutation so the interleaving model suite
+    /// can demonstrate the bug it had: a request naming an already-closed
+    /// window was judged against the *current* base, so a burst
+    /// straddling a boundary could admit up to twice the limit against
+    /// one window index (see `model_scenarios::rate_straddle_mutated`).
+    fn try_acquire_straddling(&self, value: u64, window: u64) -> bool {
+        let mut current = self.epoch.load(Ordering::Acquire) / 2;
         while window > current {
-            match self.window.compare_exchange_weak(
-                current,
-                window,
+            match self.epoch.compare_exchange_weak(
+                2 * current,
+                2 * window,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
-                    // This request opens the window: its own value is the
-                    // new base, so it is admitted (0 < limit). fetch_max,
-                    // not store: an opener of an *older* window preempted
-                    // between its CAS and this line must not drag a newer
-                    // window's base backwards (a plain store could shed a
-                    // whole window's traffic against a stale base).
                     self.base.fetch_max(value, Ordering::AcqRel);
                     return true;
                 }
-                Err(seen) => current = seen,
+                Err(seen) => current = seen / 2,
             }
         }
         value.wrapping_sub(self.base.load(Ordering::Acquire)) < self.limit
@@ -112,7 +199,7 @@ impl RateLimiter {
     /// The highest window index seen so far.
     #[must_use]
     pub fn current_window(&self) -> u64 {
-        self.window.load(Ordering::Acquire)
+        self.epoch.load(Ordering::Acquire) / 2
     }
 }
 
@@ -146,6 +233,46 @@ mod tests {
     }
 
     #[test]
+    fn the_boundary_value_is_shed() {
+        // Window 0's base is 0, so values 0..limit are the admissible
+        // set and value `limit` exactly must be shed — the off-by-one
+        // this suite pins.
+        let limiter = limiter(4);
+        for i in 0..4 {
+            assert!(limiter.try_acquire(0, 0), "value {i} is within the budget");
+        }
+        assert!(!limiter.try_acquire(0, 0), "value base+limit is outside the budget");
+    }
+
+    #[test]
+    fn the_opener_spends_one_unit_of_its_windows_budget() {
+        let limiter = limiter(1);
+        assert!(limiter.try_acquire(0, 0));
+        // The opener of window 1 is admitted as its request 0...
+        assert!(limiter.try_acquire(0, 1));
+        // ...and with limit 1 the window is then already spent.
+        assert!(!limiter.try_acquire(0, 1));
+    }
+
+    #[test]
+    fn closed_windows_shed_instead_of_stealing_new_budget() {
+        let limiter = limiter(2);
+        assert!(limiter.try_acquire(0, 0));
+        assert!(limiter.try_acquire(0, 1), "window 1 opens");
+        // This late window-0 request holds a counter value inside window
+        // 1's admissible range; judging it against window 1's base (the
+        // pre-fix behavior) would *admit* it — traffic counted against a
+        // window that already closed. Post-fix it is shed. (Shed traffic
+        // still draws a counter value, so it burns one unit of window
+        // 1's value-indexed budget — as a shed, never an admission.)
+        assert!(!limiter.try_acquire(0, 0), "a closed window admits nothing");
+        assert!(
+            !limiter.try_acquire(0, 1),
+            "window 1's admissible values are spent (opener + the straggler's draw)"
+        );
+    }
+
+    #[test]
     fn concurrent_requests_in_one_window_respect_the_limit() {
         let limiter = limiter(16);
         let admitted: usize = std::thread::scope(|scope| {
@@ -160,6 +287,46 @@ mod tests {
         // No rollover races in a single window on an exact dispenser:
         // exactly the first `limit` counter values pass.
         assert_eq!(admitted, 16);
+    }
+
+    #[test]
+    fn concurrent_rollovers_never_over_admit_any_window() {
+        // 8 threads sweep windows 0..8 with traffic far above the limit;
+        // whatever interleaving the OS provides, no window index may
+        // admit more than `limit`.
+        let limit = 4u64;
+        let limiter = limiter(limit);
+        let mut per_window = vec![0usize; 8];
+        let counts: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..8)
+                .map(|tid| {
+                    let limiter = &limiter;
+                    scope.spawn(move || {
+                        let mut admitted = vec![0usize; 8];
+                        for window in 0..8u64 {
+                            for _ in 0..6 {
+                                if limiter.try_acquire(tid, window) {
+                                    admitted[window as usize] += 1;
+                                }
+                            }
+                        }
+                        admitted
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().expect("no panic")).collect()
+        });
+        for counts in counts {
+            for (window, n) in counts.into_iter().enumerate() {
+                per_window[window] += n;
+            }
+        }
+        for (window, admitted) in per_window.into_iter().enumerate() {
+            assert!(
+                admitted as u64 <= limit,
+                "window {window} admitted {admitted} > limit {limit}"
+            );
+        }
     }
 
     #[test]

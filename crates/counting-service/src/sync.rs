@@ -1,0 +1,71 @@
+//! The service layer's model-checking seam.
+//!
+//! Mirrors `counting_runtime::sync` (and re-exports its hooks): with the
+//! `model` cargo feature off this is a zero-cost pass-through to `std`
+//! atomics and `parking_lot` locks; with it on, the registry's and rate
+//! limiter's control atomics become scheduling points of
+//! `counting_sim::model`'s exhaustive interleaving explorer.
+//!
+//! The one piece that is new at this layer is [`RwLock`]: the registry's
+//! shards are reader–writer locks, and a thread blocking inside an OS
+//! lock is invisible to the model's cooperative scheduler (it would trip
+//! the stall watchdog). Under the model, lock acquisition therefore
+//! spins on `try_read`/`try_write` with a voluntary yield between
+//! attempts, so "waiting for the shard lock" is an explored schedule
+//! decision rather than an un-modeled block. Outside the model the
+//! wrapper delegates straight to `parking_lot`.
+
+pub use counting_runtime::sync::{in_model, model_point, model_yield, mutation_enabled, AtomicU64};
+use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
+
+/// Scheduling-point label for a shard read-lock acquisition.
+const POINT_SHARD_READ: u64 = 0x10;
+/// Scheduling-point label for a shard write-lock acquisition.
+const POINT_SHARD_WRITE: u64 = 0x11;
+
+/// A shard lock that cooperates with the interleaving model (see the
+/// module docs). API subset of [`parking_lot::RwLock`]: `new`, `read`,
+/// `write`.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(parking_lot::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock guarding `value`.
+    pub fn new(value: T) -> Self {
+        Self(parking_lot::RwLock::new(value))
+    }
+
+    /// Acquires shared read access, yielding to the model scheduler
+    /// between attempts while an exploration is active.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if in_model() {
+            // Lock hand-offs contain no shim-atomic op of their own, so
+            // without this explicit point the explorer could never
+            // interleave another thread between "decided to lock" and
+            // "holds the lock".
+            model_point(POINT_SHARD_READ);
+            loop {
+                if let Some(guard) = self.0.try_read() {
+                    return guard;
+                }
+                model_yield();
+            }
+        }
+        self.0.read()
+    }
+
+    /// Acquires exclusive write access, yielding to the model scheduler
+    /// between attempts while an exploration is active.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if in_model() {
+            model_point(POINT_SHARD_WRITE);
+            loop {
+                if let Some(guard) = self.0.try_write() {
+                    return guard;
+                }
+                model_yield();
+            }
+        }
+        self.0.write()
+    }
+}

@@ -1,0 +1,89 @@
+//! Exhaustive interleaving checks for the service layer: tenant
+//! eviction/watermark hand-off and the rate limiter's window rollover.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p counting-service --features model --test model_registry
+//! ```
+//!
+//! Structure mirrors `counting-runtime/tests/model_arena.rs`: clean
+//! explorations of the real protocols, calibration mutations that must
+//! be caught, and pinned-trace replays of each mutation's counterexample
+//! against the fixed code.
+
+#![cfg(feature = "model")]
+
+use counting_service::model_scenarios::{
+    evict_handoff, evict_handoff_mutated, rate_straddle, rate_straddle_mutated,
+};
+use counting_sim::model::{explore, replay, ModelConfig};
+
+#[test]
+fn evict_handoff_is_clean_with_two_preemptions() {
+    let config = ModelConfig::with_preemptions(2);
+    let report = explore(&config, evict_handoff);
+    assert!(report.complete, "exploration hit a budget: {report:?}");
+    if let Some(cex) = &report.counterexample {
+        panic!("the eviction hand-off has a real counterexample:\n{cex}");
+    }
+    assert!(report.executions > 1, "no interleaving was actually explored");
+}
+
+#[test]
+fn rate_straddle_is_clean_with_two_preemptions() {
+    let config = ModelConfig::with_preemptions(2);
+    let report = explore(&config, rate_straddle);
+    assert!(report.complete, "exploration hit a budget: {report:?}");
+    if let Some(cex) = &report.counterexample {
+        panic!("the fixed rate limiter has a real counterexample:\n{cex}");
+    }
+    assert!(report.executions > 1, "no interleaving was actually explored");
+}
+
+#[test]
+fn evicting_an_in_use_tenant_is_caught_and_replays() {
+    let config = ModelConfig::with_preemptions(2);
+    let report = explore(&config, evict_handoff_mutated);
+    let cex = report.counterexample.unwrap_or_else(|| {
+        panic!(
+            "the evict-in-use mutation survived {} executions: the checker has no teeth",
+            report.executions
+        )
+    });
+
+    replay(&config, evict_handoff_mutated, &cex.trace)
+        .expect_err("the pinned schedule must still fail on the mutated protocol");
+
+    // The real protocol (sole-ownership check intact) survives the exact
+    // schedule that forked the mutated tenant's stream.
+    if let Err(cex) = replay(&config, evict_handoff, &cex.trace) {
+        panic!("the real eviction protocol failed the mutation's schedule:\n{cex}");
+    }
+}
+
+#[test]
+fn window_straddling_burst_is_caught_and_replays() {
+    let config = ModelConfig::with_preemptions(2);
+    let report = explore(&config, rate_straddle_mutated);
+    let cex = report.counterexample.unwrap_or_else(|| {
+        panic!(
+            "the rate-straddle mutation survived {} executions: the checker has no teeth",
+            report.executions
+        )
+    });
+    assert!(
+        cex.message.contains("over the limit"),
+        "the counterexample must be an over-admission, got: {}",
+        cex.message
+    );
+
+    replay(&config, rate_straddle_mutated, &cex.trace)
+        .expect_err("the pinned schedule must still fail on the pre-fix admission path");
+
+    // The seqlock'd limiter survives the exact schedule that over-admits
+    // on the pre-fix path.
+    if let Err(cex) = replay(&config, rate_straddle, &cex.trace) {
+        panic!("the fixed rate limiter failed the mutation's schedule:\n{cex}");
+    }
+}

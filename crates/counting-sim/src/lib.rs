@@ -38,6 +38,7 @@
 pub mod contention;
 pub mod elimination;
 pub mod linearizability;
+pub mod model;
 pub mod report;
 pub mod scheduler;
 pub mod sim;
@@ -45,6 +46,7 @@ pub mod sim;
 pub use contention::{measure_contention, sweep_concurrency, ContentionPoint};
 pub use elimination::{batch_size_sequence, simulate_arena, ArenaConfig, ArenaReport};
 pub use linearizability::{is_linearizable, violations, Violation};
+pub use model::{explore, replay, Counterexample, ExploreReport, ModelConfig, Scenario, Trace};
 pub use report::{ContentionReport, FetchIncrementOutcome, TokenRecord};
 pub use scheduler::{GreedyHotspot, RandomScheduler, RoundRobin, Scheduler, SchedulerKind};
 pub use sim::{SimConfig, Simulation};
