@@ -1,0 +1,200 @@
+//! Experiment EB — the recorded benchmark trajectory (see
+//! [`bench::trajectory`]).
+//!
+//! Measures the native `hot-path` (flat-route vs boxed-route
+//! [`counting_runtime::CompiledNetwork`] traversal) and `id-lease`
+//! (lease-cached vs per-op id grants) suites, runs the sibling
+//! `exp_throughput` / `exp_elimination` / `exp_service` binaries with
+//! `--json` under the same `--seed` and ingests their reports, assembles
+//! everything into one `BENCH_<tag>.json` trajectory file, then loads
+//! every committed `BENCH_*.json` and prints the per-cell ratio table.
+//!
+//! Exit status: nonzero on **schema drift** (a committed trajectory no
+//! longer parses under the current schema), on a degenerate-window cell
+//! (a rate the measurement harness refused to report), or on a failing
+//! sibling suite. Regression *ratios* are reported, never gated — CI
+//! boxes vary.
+//!
+//! Flags:
+//!
+//! * `--quick` — smoke-test sizes, forwarded to the sibling suites;
+//! * `--seed <u64>` — forwarded to every suite and recorded (default 7);
+//! * `--tag <tag>` — PR tag of the output file (default `dev`);
+//! * `--out <path>` — output path (default `BENCH_<tag>.json` in `--dir`);
+//! * `--dir <dir>` — where committed `BENCH_*.json` live (default `.`);
+//! * `--native-only` — skip the sibling suites (hot-path + id-lease only;
+//!   what the smoke test runs, since sibling binaries may not be built);
+//! * `--ingest-throughput/-elimination/-service <path>` — use an existing
+//!   suite JSON instead of spawning that sibling;
+//! * `--compare-only` — no measurement: load `--dir`, print the ratio
+//!   table, exit nonzero on drift.
+//!
+//! Run with: `cargo build --release -p bench --bins && cargo run
+//! --release -p bench --bin exp_bench -- --quick`
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use bench::trajectory::{
+    self, comparison_table, degenerate_cells, load_trajectories, validate, LoadedTrajectory,
+    Trajectory,
+};
+use bench::HostFingerprint;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{flag} requires a value")).clone())
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Runs a sibling experiment binary with `--json` and returns the path
+/// its report was written to.
+fn run_sibling(name: &str, quick: bool, seed: u64, out_dir: &Path) -> PathBuf {
+    let exe = std::env::current_exe().expect("own path");
+    let sibling = exe.with_file_name(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    if !sibling.exists() {
+        fail(&format!(
+            "{} not found — build the suite binaries first (cargo build --release -p bench \
+             --bins), or pass --ingest-* / --native-only",
+            sibling.display()
+        ));
+    }
+    let json = out_dir.join(format!("{name}-trajectory.json"));
+    let mut cmd = Command::new(&sibling);
+    if quick {
+        cmd.arg("--quick");
+    }
+    cmd.arg("--seed").arg(seed.to_string());
+    cmd.arg("--json").arg(&json);
+    println!("exp_bench: running {name} (seed {seed}, quick {quick})…");
+    let status = cmd.status().unwrap_or_else(|e| fail(&format!("spawn {name}: {e}")));
+    if !status.success() {
+        fail(&format!("{name} exited with {status} — fix the suite before recording"));
+    }
+    json
+}
+
+fn read_json<T: serde::Deserialize>(path: &Path, what: &str) -> T {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("read {what} report {}: {e}", path.display())));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("parse {what} report {}: {e:?}", path.display())))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let native_only = args.iter().any(|a| a == "--native-only");
+    let compare_only = args.iter().any(|a| a == "--compare-only");
+    let seed: u64 =
+        flag_value(&args, "--seed").map_or(7, |s| s.parse().expect("--seed takes a u64"));
+    let tag = flag_value(&args, "--tag").unwrap_or_else(|| "dev".to_owned());
+    let dir = PathBuf::from(flag_value(&args, "--dir").unwrap_or_else(|| ".".to_owned()));
+    let out = flag_value(&args, "--out")
+        .map_or_else(|| dir.join(format!("BENCH_{tag}.json")), PathBuf::from);
+
+    if compare_only {
+        let loaded = load_trajectories(&dir).unwrap_or_else(|e| fail(&e));
+        if loaded.is_empty() {
+            fail(&format!("no BENCH_*.json trajectories in {}", dir.display()));
+        }
+        print_comparison(&loaded);
+        return;
+    }
+
+    println!("## EB — benchmark trajectory (tag {tag}, seed {seed}, quick {quick})\n");
+
+    // Native suites first: they need no sibling binaries.
+    let mut records = trajectory::measure_hot_path(quick);
+    records.extend(trajectory::measure_id_lease(quick));
+
+    if !native_only {
+        let tmp = std::env::temp_dir().join(format!("exp_bench-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).expect("create temp dir");
+
+        let path = flag_value(&args, "--ingest-throughput")
+            .map_or_else(|| run_sibling("exp_throughput", quick, seed, &tmp), PathBuf::from);
+        let doc: trajectory::ThroughputSuiteJson = read_json(&path, "throughput");
+        records.extend(trajectory::records_from_throughput(&doc));
+
+        let path = flag_value(&args, "--ingest-elimination")
+            .map_or_else(|| run_sibling("exp_elimination", quick, seed, &tmp), PathBuf::from);
+        let doc: trajectory::EliminationIngest = read_json(&path, "elimination");
+        records.extend(trajectory::records_from_elimination(&doc));
+
+        let path = flag_value(&args, "--ingest-service")
+            .map_or_else(|| run_sibling("exp_service", quick, seed, &tmp), PathBuf::from);
+        let doc: trajectory::ServiceIngest = read_json(&path, "service");
+        records.extend(trajectory::records_from_service(&doc));
+    }
+
+    let current = Trajectory {
+        schema_version: trajectory::SCHEMA_VERSION,
+        pr_tag: tag.clone(),
+        seed,
+        quick,
+        host: HostFingerprint::detect(),
+        records,
+    };
+    validate(&current).unwrap_or_else(|e| fail(&format!("assembled trajectory invalid: {e}")));
+
+    // A degenerate-window cell means a suite ran too briefly to measure —
+    // refuse to record it (the committed trajectory must never carry
+    // epsilon-clamp-style artifacts).
+    let degenerate = degenerate_cells(&current);
+    if !degenerate.is_empty() {
+        fail(&format!(
+            "{} degenerate-window cell(s) — raise the op counts: {}",
+            degenerate.len(),
+            degenerate.join(", ")
+        ));
+    }
+
+    let json = serde_json::to_string(&current).expect("trajectory serializes");
+    std::fs::write(&out, &json).expect("write trajectory file");
+    println!("trajectory ({} cells) written to {}\n", current.records.len(), out.display());
+
+    // Comparator: committed trajectories plus this run as the newest
+    // column. The freshly written file is excluded from the disk scan (it
+    // may live outside --dir or be the very file being refreshed) and
+    // re-appended from memory instead.
+    let out_name = out.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_owned();
+    let mut loaded: Vec<LoadedTrajectory> = load_trajectories(&dir)
+        .unwrap_or_else(|e| fail(&e))
+        .into_iter()
+        .filter(|t| t.file != out_name)
+        .collect();
+    loaded.push(LoadedTrajectory { file: out_name, trajectory: current });
+    print_comparison(&loaded);
+}
+
+fn print_comparison(loaded: &[LoadedTrajectory]) {
+    println!("## EB — trajectory comparison ({} file(s), newest last)\n", loaded.len());
+    for t in loaded {
+        let host = &t.trajectory.host;
+        println!(
+            "* {} — tag {}, seed {}, quick {}, host {}/{}/{} cpus, {} cells",
+            t.file,
+            t.trajectory.pr_tag,
+            t.trajectory.seed,
+            t.trajectory.quick,
+            host.os,
+            host.arch,
+            host.cpus,
+            t.trajectory.records.len()
+        );
+    }
+    println!();
+    println!("{}", comparison_table(loaded).to_markdown());
+    println!(
+        "Notes: ratios compare the newest column against its predecessor; they are\n\
+         reported for review, not gated — absolute rates are machine-dependent, and\n\
+         only same-host, same-seed columns are apples-to-apples (see the host\n\
+         fingerprints above). Schema drift, by contrast, is a hard error."
+    );
+}

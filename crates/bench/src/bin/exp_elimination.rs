@@ -18,9 +18,10 @@
 //! `E14c-oversubscribed` marker) let the smoke test gate exactly that.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_elimination
-//! [-- --quick] [--json <path>] [--strategy <spin|spin-yield|park>]`
+//! [-- --quick] [--json <path>] [--strategy <spin|spin-yield|park>]
+//! [--seed <u64>]`
 
-use bench::Table;
+use bench::{kilo_rate, Table};
 use counting::counting_network;
 use counting_runtime::{
     run_stress, Batching, BlockReserve, CentralCounter, DiffractingCounter, EliminationConfig,
@@ -33,7 +34,9 @@ use serde::Serialize;
 const THREADS: usize = 8;
 const UNIFORM_K: usize = 8;
 const MAX_K: usize = 16;
-const SEED: u64 = 0xE11A;
+/// Default `--seed` of the deterministic batch-size streams (also fed to
+/// the arena model so E14b compares like against like).
+const DEFAULT_SEED: u64 = 0xE11A;
 /// Arena geometry used for every wrapped counter in this experiment.
 const SLOTS: usize = 4;
 const SPIN: usize = 16;
@@ -69,6 +72,7 @@ struct StrategyAggregate {
 /// Everything the experiment emits as JSON.
 #[derive(Debug, Serialize)]
 struct EliminationJson {
+    seed: u64,
     strategy: String,
     oversubscribed: bool,
     stress: Vec<StressReport>,
@@ -100,7 +104,7 @@ fn steady(batch: Batching, ops_per_thread: u64) -> StressConfig {
 }
 
 fn rate_cell(report: &StressReport, gaps_expected: bool) -> String {
-    let rate = format!("{:.0}k", report.values_per_second / 1_000.0);
+    let rate = kilo_rate(report.values_per_second);
     if report.is_exact_range() {
         rate
     } else if gaps_expected && report.duplicates == 0 {
@@ -127,13 +131,14 @@ fn run_subject<C, F>(
     ops_per_thread: u64,
     gaps_expected: bool,
     strategy: WaitStrategy,
+    seed: u64,
 ) -> RowOutcome
 where
     C: BlockReserve,
     F: Fn() -> C,
 {
     let uniform = Batching::Fixed(UNIFORM_K);
-    let mixed = Batching::Mixed { max_k: MAX_K, seed: SEED };
+    let mixed = Batching::Mixed { max_k: MAX_K, seed };
     let mut rates = Vec::new();
     let mut reports = Vec::new();
 
@@ -199,6 +204,9 @@ fn main() {
         .map(|i| args.get(i + 1).expect("--strategy requires a value"))
         .map_or(Ok(WaitStrategy::SpinYield), |s| s.parse())
         .unwrap_or_else(|err| panic!("{err}"));
+    let seed: u64 = args.iter().position(|a| a == "--seed").map_or(DEFAULT_SEED, |i| {
+        args.get(i + 1).expect("--seed requires a value").parse().expect("--seed takes a u64")
+    });
 
     let w = 16usize;
     // Total traversals of the uniform raw runs (threads × ops) stay a
@@ -229,6 +237,7 @@ fn main() {
             ops_per_thread,
             true,
             strategy,
+            seed,
         ),
         run_subject(
             &format!("prism DiffTree[{w}]"),
@@ -236,9 +245,17 @@ fn main() {
             ops_per_thread,
             true,
             strategy,
+            seed,
         ),
-        run_subject("central fetch_add", CentralCounter::new, ops_per_thread, false, strategy),
-        run_subject("mutex counter", LockCounter::new, ops_per_thread, false, strategy),
+        run_subject(
+            "central fetch_add",
+            CentralCounter::new,
+            ops_per_thread,
+            false,
+            strategy,
+            seed,
+        ),
+        run_subject("mutex counter", LockCounter::new, ops_per_thread, false, strategy, seed),
     ];
     for outcome in outcomes {
         unexpected_broken += outcome.rates.iter().filter(|cell| cell.contains("BROKEN")).count();
@@ -260,7 +277,7 @@ fn main() {
         spin_rounds: 4,
         ops_per_process: ops_per_thread,
         max_k: MAX_K,
-        seed: SEED,
+        seed,
         probe: PROBE,
         park: strategy == WaitStrategy::Park,
     });
@@ -371,7 +388,7 @@ fn main() {
                 let config = StressConfig {
                     threads: THREADS,
                     ops_per_thread: strategy_ops,
-                    batch: Batching::Mixed { max_k: MAX_K, seed: SEED },
+                    batch: Batching::Mixed { max_k: MAX_K, seed },
                     scenario,
                     record_tokens: false,
                 };
@@ -432,6 +449,7 @@ fn main() {
     );
 
     let json = EliminationJson {
+        seed,
         strategy: strategy.label().to_owned(),
         oversubscribed,
         stress,

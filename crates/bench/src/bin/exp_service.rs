@@ -11,20 +11,30 @@
 //! artifact carries the full per-tenant breakdown.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_service
-//! [-- --quick] [--json <path>]`
+//! [-- --quick] [--json <path>] [--seed <u64>]`
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
-use bench::Table;
-use counting_runtime::{MeasuredWindow, SharedCounter, ValueBitmap, WaitStrategy};
+use bench::{kilo_rate, Table};
+use counting_runtime::{rate_over, MeasuredWindow, SharedCounter, ValueBitmap, WaitStrategy};
 use counting_service::{Backend, CounterService, ServiceConfig};
 use serde::Serialize;
 
 /// Largest batch size drawn by the mixed-size stream.
 const MAX_BATCH: usize = 4;
-/// Seed of the deterministic batch-size streams.
-const BATCH_SEED: u64 = 0xE15;
+/// Default `--seed`: every deterministic stream of the run — the
+/// per-thread batch-size sequences *and* the per-thread tenant-pick RNGs
+/// — derives from this one seed, so a trajectory cell is reproducible
+/// from its recorded seed alone.
+const DEFAULT_SEED: u64 = 0xE15;
+
+/// The whole JSON document: the seed plus one report per backend.
+#[derive(Debug, Serialize)]
+struct ServiceJson {
+    seed: u64,
+    reports: Vec<BackendReport>,
+}
 
 /// One backend row of the matrix.
 #[derive(Debug, Serialize)]
@@ -35,7 +45,9 @@ struct BackendReport {
     ops_per_thread: u64,
     total_values: u64,
     elapsed_secs: f64,
-    aggregate_values_per_second: f64,
+    /// `None` when the measured window was degenerate (see
+    /// `counting_runtime::MIN_MEASURED_WINDOW`).
+    aggregate_values_per_second: Option<f64>,
     evictions: u64,
     duplicates: u64,
     out_of_range: u64,
@@ -48,7 +60,8 @@ struct BackendReport {
 struct TenantStat {
     tenant: String,
     values: u64,
-    values_per_second: f64,
+    /// `None` when the measured window was degenerate.
+    values_per_second: Option<f64>,
 }
 
 /// Increments the shared finished-worker count on drop — *including* an
@@ -101,6 +114,7 @@ fn run_backend(
     tenants: usize,
     threads: usize,
     ops_per_thread: u64,
+    seed: u64,
 ) -> BackendReport {
     let service = CounterService::new(config);
     let names: Vec<String> = (0..tenants).map(|i| format!("tenant-{i:03}")).collect();
@@ -125,9 +139,9 @@ fn run_backend(
             let (window, finished) = (&window, &finished);
             scope.spawn(move || {
                 let _finished = FinishedGuard(finished);
-                let mut rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid as u64 + 1) | 1;
-                let mut sizes =
-                    counting_sim::batch_size_sequence(BATCH_SEED, tid as u64, MAX_BATCH);
+                // Both per-thread streams derive from the one --seed.
+                let mut rng = (seed ^ 0x9E37_79B9_7F4A_7C15u64).wrapping_mul(tid as u64 + 1) | 1;
+                let mut sizes = counting_sim::batch_size_sequence(seed, tid as u64, MAX_BATCH);
                 let mut scratch = Vec::with_capacity(MAX_BATCH);
                 window.enter();
                 for _ in 0..ops_per_thread {
@@ -164,7 +178,7 @@ fn run_backend(
             }
         });
     });
-    let elapsed = window.elapsed().as_secs_f64();
+    let elapsed = window.elapsed();
 
     // Quiescent verification: each tenant's hand-out must be exactly
     // `0..watermark` — dense across however many evict/revive cycles the
@@ -188,7 +202,7 @@ fn run_backend(
         tenant_stats.push(TenantStat {
             tenant: name.clone(),
             values: watermark,
-            values_per_second: watermark as f64 / elapsed,
+            values_per_second: rate_over(watermark, elapsed),
         });
     }
 
@@ -198,8 +212,8 @@ fn run_backend(
         threads,
         ops_per_thread,
         total_values,
-        elapsed_secs: elapsed,
-        aggregate_values_per_second: total_values as f64 / elapsed,
+        elapsed_secs: elapsed.as_secs_f64(),
+        aggregate_values_per_second: rate_over(total_values, elapsed),
         // Relaxed loads: post-join quiescent reads.
         evictions: evictions.load(Ordering::Relaxed),
         duplicates: duplicates.iter().map(|d| d.load(Ordering::Relaxed)).sum::<u64>(),
@@ -216,6 +230,9 @@ fn main() {
         .iter()
         .position(|a| a == "--json")
         .map(|i| args.get(i + 1).expect("--json requires a path").clone());
+    let seed: u64 = args.iter().position(|a| a == "--seed").map_or(DEFAULT_SEED, |i| {
+        args.get(i + 1).expect("--seed requires a value").parse().expect("--seed takes a u64")
+    });
 
     let tenants = 64usize;
     let threads = 8usize;
@@ -260,17 +277,23 @@ fn main() {
     ]);
     let mut reports = Vec::new();
     for config in configs {
-        let report = run_backend(config, tenants, threads, ops_per_thread);
-        let mut rates: Vec<f64> = report.tenant_stats.iter().map(|t| t.values_per_second).collect();
+        let report = run_backend(config, tenants, threads, ops_per_thread, seed);
+        // Degenerate-window tenants (None) are excluded from the skew
+        // percentiles rather than counted as zero-rate.
+        let mut rates: Vec<f64> =
+            report.tenant_stats.iter().filter_map(|t| t.values_per_second).collect();
         rates.sort_by(|a, b| a.total_cmp(b));
+        let skew_cell = |rate: Option<f64>, decimals: usize| {
+            rate.map_or_else(|| "n/a".to_owned(), |r| format!("{:.decimals$}k", r / 1_000.0))
+        };
         let broken =
             report.duplicates > 0 || report.out_of_range > 0 || report.range_violations > 0;
         table.push_row(vec![
             report.backend.clone(),
-            format!("{:.0}k", report.aggregate_values_per_second / 1_000.0),
-            format!("{:.1}k", rates.last().copied().unwrap_or(0.0) / 1_000.0),
-            format!("{:.1}k", rates[rates.len() / 2] / 1_000.0),
-            format!("{:.2}k", rates.first().copied().unwrap_or(0.0) / 1_000.0),
+            kilo_rate(report.aggregate_values_per_second),
+            skew_cell(rates.last().copied(), 1),
+            skew_cell(rates.get(rates.len() / 2).copied(), 1),
+            skew_cell(rates.first().copied(), 2),
             report.evictions.to_string(),
             if broken {
                 format!(
@@ -282,10 +305,12 @@ fn main() {
             },
         ]);
         println!(
-            "E15-aggregate backend={} rate={:.0} evictions={} duplicates={} out_of_range={} \
+            "E15-aggregate backend={} rate={} evictions={} duplicates={} out_of_range={} \
              range_violations={}",
             report.backend,
-            report.aggregate_values_per_second,
+            report
+                .aggregate_values_per_second
+                .map_or_else(|| "n/a".to_owned(), |r| format!("{r:.0}")),
             report.evictions,
             report.duplicates,
             report.out_of_range,
@@ -301,7 +326,8 @@ fn main() {
          hot/median/cold columns show the Zipf skew surviving into per-tenant rates.\n"
     );
 
-    let json = serde_json::to_string(&reports).expect("reports serialize");
+    let doc = ServiceJson { seed, reports };
+    let json = serde_json::to_string(&doc).expect("reports serialize");
     match json_path {
         Some(path) => {
             std::fs::write(&path, &json).expect("write JSON report file");
@@ -313,7 +339,8 @@ fn main() {
     // Correctness gate: any duplicate or non-dense tenant stream fails
     // the process (CI runs this binary in the smoke job), after the JSON
     // was written for forensics.
-    let broken = reports
+    let broken = doc
+        .reports
         .iter()
         .filter(|r| r.duplicates > 0 || r.out_of_range > 0 || r.range_violations > 0)
         .count();

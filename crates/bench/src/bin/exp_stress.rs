@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release -p bench --bin exp_stress [-- --quick]
 //! [--json <path>]`
 
-use bench::{comparison_suite, Table};
+use bench::{comparison_suite, kilo_rate, Table};
 use counting_runtime::{
     run_stress, Batching, CentralCounter, DiffractingCounter, LockCounter, NetworkCounter,
     Scenario, SharedCounter, StressConfig, StressReport,
@@ -50,7 +50,7 @@ fn subjects(w: usize) -> Vec<Subject> {
 }
 
 fn cell(report: &StressReport) -> String {
-    let rate = format!("{:.0}k", report.values_per_second / 1_000.0);
+    let rate = kilo_rate(report.values_per_second);
     if report.is_exact_range() {
         rate
     } else {

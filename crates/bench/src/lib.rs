@@ -11,12 +11,16 @@
 //!   comparisons, smoothing and sorting summaries).
 //!
 //! This library holds what both share: the standard comparison suite of
-//! networks and a tiny Markdown table formatter.
+//! networks, a tiny Markdown table formatter, and the [`trajectory`]
+//! module — the schema, aggregation, native suites and comparator behind
+//! the committed `BENCH_*.json` benchmark trajectory (see `exp_bench`).
 
 #![warn(missing_docs)]
 
 pub mod suite;
 pub mod table;
+pub mod trajectory;
 
 pub use suite::{comparison_suite, NamedNetwork};
 pub use table::Table;
+pub use trajectory::{kilo_rate, BenchRecord, HostFingerprint, Trajectory, SCHEMA_VERSION};

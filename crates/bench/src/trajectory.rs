@@ -1,0 +1,700 @@
+//! The recorded benchmark trajectory: a committed, machine-readable
+//! history of this repository's performance claims.
+//!
+//! Every PR that touches a hot path records a `BENCH_<tag>.json` file at
+//! the repo root via the `exp_bench` binary. The file holds
+//! [`BenchRecord`] cells — one per (suite, scenario, counter, threads,
+//! batching) — aggregated from the JSON outputs of `exp_throughput`,
+//! `exp_elimination` and `exp_service`, plus two suites measured natively
+//! by `exp_bench` itself:
+//!
+//! * `hot-path` — flat-route [`counting_runtime::CompiledNetwork`]
+//!   traversal versus the retained boxed-route baseline
+//!   ([`counting_runtime::BoxedRouteNetwork`]);
+//! * `id-lease` — [`counting_service::SharedIdGenerator`] lease-cached id
+//!   grants versus per-operation `next` on the same backing counter.
+//!
+//! The comparator loads all committed `BENCH_*.json` files, prints a
+//! per-cell ratio table, and treats any file that fails the typed parse
+//! or carries a different [`SCHEMA_VERSION`] as **schema drift** (a hard
+//! error); regression ratios themselves are reported, never gated —
+//! CI boxes vary too much for absolute rates to be a gate.
+//!
+//! All rates flow through [`counting_runtime::rate_over`], so a
+//! degenerate measurement window is an explicit `null` cell, never an
+//! absurd number (see `counting_runtime::MIN_MEASURED_WINDOW`).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use counting::counting_network;
+use counting_runtime::{
+    rate_over, BoxedRouteNetwork, CompiledNetwork, MeasuredWindow, NetworkCounter, SharedCounter,
+};
+use counting_service::SharedIdGenerator;
+use serde::{Deserialize, Serialize};
+
+use crate::Table;
+
+/// Version of the `BENCH_*.json` schema. Bump only with a migration of
+/// every committed trajectory file; the comparator refuses mixed
+/// versions as schema drift.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Filename prefix of committed trajectory files (`BENCH_<tag>.json`).
+pub const TRAJECTORY_PREFIX: &str = "BENCH_";
+
+/// Identifies the machine a trajectory was recorded on. Ratios are only
+/// meaningful between trajectories whose fingerprints match; the
+/// comparator prints the fingerprints so mismatches are visible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostFingerprint {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available hardware parallelism when the trajectory was recorded.
+    pub cpus: usize,
+}
+
+impl HostFingerprint {
+    /// Fingerprints the current machine.
+    #[must_use]
+    pub fn detect() -> Self {
+        Self {
+            os: std::env::consts::OS.to_owned(),
+            arch: std::env::consts::ARCH.to_owned(),
+            cpus: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        }
+    }
+}
+
+/// One benchmark cell of the trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Which suite produced the cell (`throughput`, `elimination`,
+    /// `service`, `hot-path`, `id-lease`).
+    pub suite: String,
+    /// Workload scenario within the suite (e.g. `steady`, `zipf-churn`).
+    pub scenario: String,
+    /// The counter / backend / traversal form under test.
+    pub counter: String,
+    /// Threads driving the cell; `0` marks an aggregate over a thread
+    /// matrix (e.g. the per-strategy E14c merge-rate aggregates).
+    pub threads: usize,
+    /// Batching regime label (`1`, `k=8`, `mixed<=16`, `lease[32]`, …).
+    pub batching: String,
+    /// Measured rate; `None` when the window was degenerate.
+    pub ops_per_second: Option<f64>,
+    /// Arena merge rate, for cells that have one (elimination suite).
+    pub merge_rate: Option<f64>,
+}
+
+impl BenchRecord {
+    /// The cell's identity — the key ratios are computed per.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}t/{}",
+            self.suite, self.counter, self.scenario, self.threads, self.batching
+        )
+    }
+}
+
+/// One committed trajectory file: the cells of one PR's benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Schema version — see [`SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// Which PR recorded this trajectory (`PR7`, `PR9`, …).
+    pub pr_tag: String,
+    /// The `--seed` every contributing suite ran under.
+    pub seed: u64,
+    /// Whether the suites ran in `--quick` mode.
+    pub quick: bool,
+    /// The machine the numbers were recorded on.
+    pub host: HostFingerprint,
+    /// The benchmark cells.
+    pub records: Vec<BenchRecord>,
+}
+
+/// Structural validation beyond the typed parse: version match, non-empty
+/// cell set, unique cell keys.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate(trajectory: &Trajectory) -> Result<(), String> {
+    if trajectory.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} does not match this binary's {SCHEMA_VERSION}",
+            trajectory.schema_version
+        ));
+    }
+    if trajectory.pr_tag.is_empty() {
+        return Err("empty pr_tag".to_owned());
+    }
+    if trajectory.records.is_empty() {
+        return Err("no benchmark records".to_owned());
+    }
+    let mut keys: Vec<String> = trajectory.records.iter().map(BenchRecord::key).collect();
+    keys.sort();
+    for pair in keys.windows(2) {
+        if pair[0] == pair[1] {
+            return Err(format!("duplicate cell key {}", pair[0]));
+        }
+    }
+    Ok(())
+}
+
+/// Keys of cells carrying **no** measurement at all (rate and merge rate
+/// both `None`) — the degenerate-window cells `exp_bench` refuses to
+/// commit.
+#[must_use]
+pub fn degenerate_cells(trajectory: &Trajectory) -> Vec<String> {
+    trajectory
+        .records
+        .iter()
+        .filter(|r| r.ops_per_second.is_none() && r.merge_rate.is_none())
+        .map(BenchRecord::key)
+        .collect()
+}
+
+/// Formats an optional rate as `{:.0}k` thousands per second, or `n/a`
+/// for a degenerate window — the one rate formatter every experiment
+/// table shares, so a `None` cell can never print as a number.
+#[must_use]
+pub fn kilo_rate(rate: Option<f64>) -> String {
+    rate.map_or_else(|| "n/a".to_owned(), |r| format!("{:.0}k", r / 1_000.0))
+}
+
+// ---------------------------------------------------------------------------
+// Suite JSON shapes
+// ---------------------------------------------------------------------------
+
+/// The JSON document `exp_throughput --json` writes — defined here so the
+/// emitter and the `exp_bench` ingester share one schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputSuiteJson {
+    /// The seed the run was invoked with (recorded for apples-to-apples
+    /// trajectory cells; the workload itself draws no random numbers).
+    pub seed: u64,
+    /// Whether the run was `--quick`.
+    pub quick: bool,
+    /// One cell per counter × thread count.
+    pub cells: Vec<ThroughputCell>,
+}
+
+/// One `exp_throughput` cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputCell {
+    /// Counter description.
+    pub counter: String,
+    /// Threads driving the counter.
+    pub threads: usize,
+    /// Values obtained per thread.
+    pub ops_per_thread: u64,
+    /// Total values obtained.
+    pub total_ops: u64,
+    /// Measured window in seconds.
+    pub elapsed_secs: f64,
+    /// Aggregate rate; `None` for a degenerate window.
+    pub ops_per_second: Option<f64>,
+}
+
+/// The subset of `exp_elimination`'s JSON the trajectory ingests.
+/// Deserialization ignores the document's other fields.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EliminationIngest {
+    /// The seed recorded by the run.
+    pub seed: u64,
+    /// The waiting strategy of the E14/E14b tables.
+    pub strategy: String,
+    /// All stress reports (E14 regimes + E14c matrix cells).
+    pub stress: Vec<EliminationStressCell>,
+    /// Per-strategy aggregate merge rates (E14c).
+    pub strategy_aggregates: Vec<StrategyAggregateIngest>,
+}
+
+/// The per-cell subset of `counting_runtime::StressReport` the
+/// trajectory needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EliminationStressCell {
+    /// Counter description.
+    pub counter: String,
+    /// Stress scenario label.
+    pub scenario: String,
+    /// Threads driving the cell.
+    pub threads: usize,
+    /// Batching regime label.
+    pub batch: String,
+    /// Aggregate rate; `None` for a degenerate window.
+    pub values_per_second: Option<f64>,
+}
+
+/// One per-strategy aggregate merge rate from E14c.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyAggregateIngest {
+    /// Waiting strategy label.
+    pub strategy: String,
+    /// Merged operations per op across the whole matrix.
+    pub merge_rate: f64,
+}
+
+/// The JSON document `exp_service --json` writes (the report array is
+/// wrapped so the seed rides along); `exp_bench` ingests the subset
+/// below, deserialization ignores the rest of each report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceIngest {
+    /// The seed the batch-size and tenant-pick streams derive from.
+    pub seed: u64,
+    /// One report per backend configuration.
+    pub reports: Vec<ServiceBackendIngest>,
+}
+
+/// The per-backend subset of `exp_service`'s report the trajectory needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceBackendIngest {
+    /// Backend configuration label.
+    pub backend: String,
+    /// Tenant count.
+    pub tenants: usize,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Aggregate rate; `None` for a degenerate window.
+    pub aggregate_values_per_second: Option<f64>,
+}
+
+// ---------------------------------------------------------------------------
+// Suite → record conversion
+// ---------------------------------------------------------------------------
+
+fn push_unique(records: &mut Vec<BenchRecord>, record: BenchRecord) {
+    // First occurrence wins: E14's steady mixed-elim cell and the E14c
+    // matrix can produce the same key from runs with different op counts.
+    if !records.iter().any(|r| r.key() == record.key()) {
+        records.push(record);
+    }
+}
+
+/// Converts an `exp_throughput` document into trajectory cells.
+#[must_use]
+pub fn records_from_throughput(doc: &ThroughputSuiteJson) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    for cell in &doc.cells {
+        push_unique(
+            &mut out,
+            BenchRecord {
+                suite: "throughput".to_owned(),
+                scenario: "steady".to_owned(),
+                counter: cell.counter.clone(),
+                threads: cell.threads,
+                batching: "1".to_owned(),
+                ops_per_second: cell.ops_per_second,
+                merge_rate: None,
+            },
+        );
+    }
+    out
+}
+
+/// Converts an `exp_elimination` document into trajectory cells.
+#[must_use]
+pub fn records_from_elimination(doc: &EliminationIngest) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    for cell in &doc.stress {
+        push_unique(
+            &mut out,
+            BenchRecord {
+                suite: "elimination".to_owned(),
+                scenario: cell.scenario.clone(),
+                counter: cell.counter.clone(),
+                threads: cell.threads,
+                batching: cell.batch.clone(),
+                ops_per_second: cell.values_per_second,
+                merge_rate: None,
+            },
+        );
+    }
+    for aggregate in &doc.strategy_aggregates {
+        push_unique(
+            &mut out,
+            BenchRecord {
+                suite: "elimination".to_owned(),
+                scenario: "matrix-aggregate".to_owned(),
+                counter: format!("arena[{}]", aggregate.strategy),
+                threads: 0,
+                batching: "mixed".to_owned(),
+                ops_per_second: None,
+                merge_rate: Some(aggregate.merge_rate),
+            },
+        );
+    }
+    out
+}
+
+/// Converts an `exp_service` document into trajectory cells.
+#[must_use]
+pub fn records_from_service(doc: &ServiceIngest) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    for report in &doc.reports {
+        push_unique(
+            &mut out,
+            BenchRecord {
+                suite: "service".to_owned(),
+                scenario: format!("zipf-churn/{}tenants", report.tenants),
+                counter: report.backend.clone(),
+                threads: report.threads,
+                batching: "mixed<=4".to_owned(),
+                ops_per_second: report.aggregate_values_per_second,
+                merge_rate: None,
+            },
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Native suites: hot-path and id-lease
+// ---------------------------------------------------------------------------
+
+/// Thread counts the native suites measure at — fixed, not
+/// hardware-derived, so trajectory cells keep identical keys across
+/// machines.
+const NATIVE_THREADS: [usize; 2] = [1, 4];
+
+fn measure_traversals<F>(traverse: F, threads: usize, ops_per_thread: u64) -> Option<f64>
+where
+    F: Fn(usize, u64) -> usize + Sync,
+{
+    let window = MeasuredWindow::new(threads);
+    // Untimed warm-up before each worker enters the window: the very
+    // first measurement of a process otherwise pays page faults, cold
+    // caches and frequency ramp-up, which is noise the trajectory must
+    // not record as a suite-order artifact.
+    let warmup = (ops_per_thread / 10).min(10_000);
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let (window, traverse) = (&window, &traverse);
+            scope.spawn(move || {
+                let mut sink = 0usize;
+                for i in 0..warmup {
+                    sink = sink.wrapping_add(traverse(tid, i));
+                }
+                window.enter();
+                for i in 0..ops_per_thread {
+                    sink = sink.wrapping_add(traverse(tid, i));
+                }
+                window.exit();
+                std::hint::black_box(sink);
+            });
+        }
+    });
+    rate_over(threads as u64 * ops_per_thread, window.elapsed())
+}
+
+/// Measures the `hot-path` suite: flat-route [`CompiledNetwork`]
+/// traversal against the boxed-route baseline on `C(16,16)`, at the
+/// fixed native thread counts.
+#[must_use]
+pub fn measure_hot_path(quick: bool) -> Vec<BenchRecord> {
+    let w = 16usize;
+    let net = counting_network(w, w).expect("valid parameters");
+    let ops_per_thread: u64 = if quick { 20_000 } else { 400_000 };
+    let mut out = Vec::new();
+    for &threads in &NATIVE_THREADS {
+        let flat = CompiledNetwork::new(&net);
+        let rate = measure_traversals(
+            |tid, i| flat.traverse((tid as u64 * 7 + i) as usize % w),
+            threads,
+            ops_per_thread,
+        );
+        out.push(BenchRecord {
+            suite: "hot-path".to_owned(),
+            scenario: "traverse".to_owned(),
+            counter: format!("C({w},{w}) flat-route"),
+            threads,
+            batching: "1".to_owned(),
+            ops_per_second: rate,
+            merge_rate: None,
+        });
+        let boxed = BoxedRouteNetwork::new(&net);
+        let rate = measure_traversals(
+            |tid, i| boxed.traverse((tid as u64 * 7 + i) as usize % w),
+            threads,
+            ops_per_thread,
+        );
+        out.push(BenchRecord {
+            suite: "hot-path".to_owned(),
+            scenario: "traverse".to_owned(),
+            counter: format!("C({w},{w}) boxed-route"),
+            threads,
+            batching: "1".to_owned(),
+            ops_per_second: rate,
+            merge_rate: None,
+        });
+    }
+    out
+}
+
+/// Lease size the `id-lease` suite uses for the cached generator.
+const ID_LEASE: usize = 32;
+
+/// Measures the `id-lease` suite: [`SharedIdGenerator`] lease-cached
+/// grants against per-operation `next` on the same network-backed
+/// counter.
+#[must_use]
+pub fn measure_id_lease(quick: bool) -> Vec<BenchRecord> {
+    let w = 16usize;
+    let net = counting_network(w, w).expect("valid parameters");
+    let ops_per_thread: u64 = if quick { 20_000 } else { 400_000 };
+    let mut out = Vec::new();
+    for &threads in &NATIVE_THREADS {
+        let counter: Arc<dyn SharedCounter + Send + Sync> =
+            Arc::new(NetworkCounter::new(format!("C({w},{w})"), &net));
+        let per_op = Arc::clone(&counter);
+        let rate = measure_traversals(|tid, _| per_op.next(tid) as usize, threads, ops_per_thread);
+        out.push(BenchRecord {
+            suite: "id-lease".to_owned(),
+            scenario: "id-grant".to_owned(),
+            counter: format!("C({w},{w}) per-op next"),
+            threads,
+            batching: "1".to_owned(),
+            ops_per_second: rate,
+            merge_rate: None,
+        });
+        let counter: Arc<dyn SharedCounter + Send + Sync> =
+            Arc::new(NetworkCounter::new(format!("C({w},{w})"), &net));
+        let cached = SharedIdGenerator::new(counter, ID_LEASE, 16);
+        let rate =
+            measure_traversals(|tid, _| cached.next_id(tid) as usize, threads, ops_per_thread);
+        out.push(BenchRecord {
+            suite: "id-lease".to_owned(),
+            scenario: "id-grant".to_owned(),
+            counter: format!("C({w},{w}) lease cache"),
+            threads,
+            batching: format!("lease[{ID_LEASE}]"),
+            ops_per_second: rate,
+            merge_rate: None,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Comparator
+// ---------------------------------------------------------------------------
+
+/// One trajectory loaded from disk, with its filename for reporting.
+#[derive(Debug, Clone)]
+pub struct LoadedTrajectory {
+    /// File name (not path) the trajectory was loaded from.
+    pub file: String,
+    /// The parsed, validated trajectory.
+    pub trajectory: Trajectory,
+}
+
+/// Numeric part of a PR tag (`PR12` → 12), for chronological ordering.
+fn pr_number(tag: &str) -> u64 {
+    let digits: String = tag.chars().filter(char::is_ascii_digit).collect();
+    digits.parse().unwrap_or(0)
+}
+
+/// Loads every `BENCH_*.json` in `dir`, oldest PR first.
+///
+/// # Errors
+///
+/// Any file that fails the typed parse or [`validate`] is **schema
+/// drift** and fails the whole load — committed trajectories must stay
+/// readable by the current schema.
+pub fn load_trajectories(dir: &Path) -> Result<Vec<LoadedTrajectory>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut names: Vec<String> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with(TRAJECTORY_PREFIX) && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    let mut out = Vec::new();
+    for name in names {
+        let path = dir.join(&name);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let trajectory: Trajectory =
+            serde_json::from_str(&text).map_err(|e| format!("schema drift in {name}: {e:?}"))?;
+        validate(&trajectory).map_err(|e| format!("schema drift in {name}: {e}"))?;
+        out.push(LoadedTrajectory { file: name, trajectory });
+    }
+    out.sort_by_key(|t| (pr_number(&t.trajectory.pr_tag), t.file.clone()));
+    Ok(out)
+}
+
+fn cell_value(t: &Trajectory, key: &str) -> Option<f64> {
+    t.records.iter().find(|r| r.key() == key).and_then(|r| r.ops_per_second.or(r.merge_rate))
+}
+
+/// Builds the per-cell ratio table over `trajectories` (oldest first; the
+/// last entry is "current"). One row per cell key of the newest
+/// trajectory: the value under each PR tag, and the newest/previous
+/// ratio. Ratios are **reported, not gated** — absolute rates differ
+/// across machines, so regressions are surfaced for a human.
+#[must_use]
+pub fn comparison_table(trajectories: &[LoadedTrajectory]) -> Table {
+    let mut header = vec!["cell".to_owned()];
+    for t in trajectories {
+        header.push(t.trajectory.pr_tag.clone());
+    }
+    header.push("ratio vs prev".to_owned());
+    let mut table = Table::new(header);
+    let Some(newest) = trajectories.last() else {
+        return table;
+    };
+    let prev = trajectories.len().checked_sub(2).map(|i| &trajectories[i]);
+    for record in &newest.trajectory.records {
+        let key = record.key();
+        let mut row = vec![key.clone()];
+        for t in trajectories {
+            row.push(match cell_value(&t.trajectory, &key) {
+                Some(v) if v >= 1_000.0 => format!("{:.0}k", v / 1_000.0),
+                Some(v) => format!("{v:.2}"),
+                None => "—".to_owned(),
+            });
+        }
+        let ratio = match (
+            prev.and_then(|p| cell_value(&p.trajectory, &key)),
+            cell_value(&newest.trajectory, &key),
+        ) {
+            (Some(old), Some(new)) if old > 0.0 => format!("{:.2}x", new / old),
+            _ => "—".to_owned(),
+        };
+        row.push(ratio);
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(suite: &str, counter: &str, threads: usize, rate: Option<f64>) -> BenchRecord {
+        BenchRecord {
+            suite: suite.to_owned(),
+            scenario: "s".to_owned(),
+            counter: counter.to_owned(),
+            threads,
+            batching: "1".to_owned(),
+            ops_per_second: rate,
+            merge_rate: None,
+        }
+    }
+
+    fn trajectory(records: Vec<BenchRecord>) -> Trajectory {
+        Trajectory {
+            schema_version: SCHEMA_VERSION,
+            pr_tag: "PR7".to_owned(),
+            seed: 7,
+            quick: true,
+            host: HostFingerprint::detect(),
+            records,
+        }
+    }
+
+    #[test]
+    fn validate_rejects_version_drift_and_duplicate_keys() {
+        let good = trajectory(vec![record("a", "x", 1, Some(1.0))]);
+        assert_eq!(validate(&good), Ok(()));
+        let mut drifted = good.clone();
+        drifted.schema_version = SCHEMA_VERSION + 1;
+        assert!(validate(&drifted).unwrap_err().contains("schema version"));
+        let dup = trajectory(vec![record("a", "x", 1, Some(1.0)), record("a", "x", 1, Some(2.0))]);
+        assert!(validate(&dup).unwrap_err().contains("duplicate cell key"));
+        assert!(validate(&trajectory(Vec::new())).is_err());
+    }
+
+    #[test]
+    fn degenerate_cells_are_the_fully_unmeasured_ones() {
+        let mut merge_only = record("elim", "arena", 0, None);
+        merge_only.merge_rate = Some(0.5);
+        let t =
+            trajectory(vec![record("a", "x", 1, Some(1.0)), record("a", "y", 1, None), merge_only]);
+        assert_eq!(degenerate_cells(&t), vec!["a/y/s/1t/1".to_owned()]);
+    }
+
+    #[test]
+    fn kilo_rate_formats_none_as_na() {
+        assert_eq!(kilo_rate(Some(12_345.0)), "12k");
+        assert_eq!(kilo_rate(None), "n/a");
+    }
+
+    #[test]
+    fn conversions_dedup_first_wins() {
+        let doc = EliminationIngest {
+            seed: 1,
+            strategy: "spin-yield".to_owned(),
+            stress: vec![
+                EliminationStressCell {
+                    counter: "c".to_owned(),
+                    scenario: "steady".to_owned(),
+                    threads: 8,
+                    batch: "mixed".to_owned(),
+                    values_per_second: Some(100.0),
+                },
+                EliminationStressCell {
+                    counter: "c".to_owned(),
+                    scenario: "steady".to_owned(),
+                    threads: 8,
+                    batch: "mixed".to_owned(),
+                    values_per_second: Some(999.0),
+                },
+            ],
+            strategy_aggregates: vec![StrategyAggregateIngest {
+                strategy: "park".to_owned(),
+                merge_rate: 0.8,
+            }],
+        };
+        let records = records_from_elimination(&doc);
+        assert_eq!(records.len(), 2, "duplicate stress key collapsed: {records:?}");
+        assert_eq!(records[0].ops_per_second, Some(100.0), "first occurrence wins");
+        assert_eq!(records[1].merge_rate, Some(0.8));
+        assert_eq!(records[1].threads, 0, "aggregates carry the 0 thread marker");
+    }
+
+    #[test]
+    fn trajectory_round_trips_through_json() {
+        let t = trajectory(vec![record("a", "x", 1, Some(1.5)), record("a", "y", 2, None)]);
+        let json = serde_json::to_string(&t).expect("serializes");
+        let back: Trajectory = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comparison_table_reports_ratios_newest_vs_previous() {
+        let mut old = trajectory(vec![record("a", "x", 1, Some(100.0))]);
+        old.pr_tag = "PR6".to_owned();
+        let new = trajectory(vec![record("a", "x", 1, Some(150.0))]);
+        let loaded = vec![
+            LoadedTrajectory { file: "BENCH_PR6.json".to_owned(), trajectory: old },
+            LoadedTrajectory { file: "BENCH_PR7.json".to_owned(), trajectory: new },
+        ];
+        let md = comparison_table(&loaded).to_markdown();
+        assert!(md.contains("1.50x"), "ratio missing from:\n{md}");
+        assert!(md.contains("PR6") && md.contains("PR7"));
+    }
+
+    #[test]
+    fn pr_tags_order_numerically_not_lexically() {
+        assert!(pr_number("PR10") > pr_number("PR9"));
+        assert_eq!(pr_number("no-digits"), 0);
+    }
+
+    #[test]
+    fn native_suites_produce_unique_well_formed_cells() {
+        // Tiny op count: this is a schema/shape test, not a measurement.
+        let mut records = measure_hot_path(true);
+        records.truncate(2);
+        let t = trajectory(records);
+        assert_eq!(validate(&t), Ok(()));
+        assert!(t.records.iter().all(|r| r.suite == "hot-path"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Golden-file schema tests for the committed `BENCH_*.json` benchmark
+//! trajectory: the serialized field set is pinned here, so renaming or
+//! dropping a field (schema drift) fails the suite even before the
+//! `exp_bench` comparator runs in CI. The committed `BENCH_PR7.json` at
+//! the repo root is itself parsed and checked — including the claim the
+//! trajectory exists to record: flat-route traversal out-running the
+//! boxed-route baseline on the same box under the same seed.
+
+use bench::trajectory::{degenerate_cells, validate, BenchRecord};
+use bench::{HostFingerprint, Trajectory, SCHEMA_VERSION};
+
+fn sample() -> Trajectory {
+    Trajectory {
+        schema_version: SCHEMA_VERSION,
+        pr_tag: "PR7".to_owned(),
+        seed: 7,
+        quick: false,
+        host: HostFingerprint { os: "linux".to_owned(), arch: "x86_64".to_owned(), cpus: 1 },
+        records: vec![BenchRecord {
+            suite: "hot-path".to_owned(),
+            scenario: "traverse".to_owned(),
+            counter: "C(16,16) flat-route".to_owned(),
+            threads: 1,
+            batching: "1".to_owned(),
+            ops_per_second: Some(1_000.0),
+            merge_rate: None,
+        }],
+    }
+}
+
+#[test]
+fn serialized_trajectory_carries_every_pinned_field_and_round_trips() {
+    let json = serde_json::to_string(&sample()).expect("serializes");
+    // The golden field set. A rename or removal shows up here first,
+    // with a message naming the missing field.
+    for field in [
+        "schema_version",
+        "pr_tag",
+        "seed",
+        "quick",
+        "host",
+        "os",
+        "arch",
+        "cpus",
+        "records",
+        "suite",
+        "scenario",
+        "counter",
+        "threads",
+        "batching",
+        "ops_per_second",
+        "merge_rate",
+    ] {
+        assert!(json.contains(&format!("\"{field}\":")), "field `{field}` missing from: {json}");
+    }
+    let back: Trajectory = serde_json::from_str(&json).expect("round-trips");
+    assert_eq!(back, sample());
+    // A degenerate cell serializes as an explicit null, never a number.
+    let mut t = sample();
+    t.records[0].ops_per_second = None;
+    let json = serde_json::to_string(&t).expect("serializes");
+    assert!(json.contains("\"ops_per_second\":null"), "None must be null: {json}");
+}
+
+#[test]
+fn missing_required_field_is_a_parse_error_but_unknown_fields_are_tolerated() {
+    let json = serde_json::to_string(&sample()).expect("serializes");
+    // Strip the required pr_tag field: the typed parse must fail rather
+    // than fill in a default (that would silently mask drift).
+    let without = json.replace("\"pr_tag\":\"PR7\",", "");
+    assert!(!without.contains("pr_tag"), "surgery failed: {without}");
+    assert!(
+        serde_json::from_str::<Trajectory>(&without).is_err(),
+        "parse must reject a trajectory without pr_tag"
+    );
+    // An extra unknown field must parse fine — future schema versions
+    // may add fields, and old readers should not explode on them.
+    let with_extra = json.replacen('{', "{\"future_field\":42,", 1);
+    let back: Trajectory = serde_json::from_str(&with_extra).expect("unknown fields tolerated");
+    assert_eq!(back, sample());
+}
+
+fn committed_pr7() -> Trajectory {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let text = std::fs::read_to_string(format!("{root}/BENCH_PR7.json"))
+        .expect("BENCH_PR7.json is committed at the repo root");
+    let trajectory: Trajectory =
+        serde_json::from_str(&text).expect("committed trajectory parses under current schema");
+    validate(&trajectory).expect("committed trajectory is structurally valid");
+    trajectory
+}
+
+#[test]
+fn committed_trajectory_is_valid_and_fully_measured() {
+    let t = committed_pr7();
+    assert_eq!(t.schema_version, SCHEMA_VERSION);
+    assert_eq!(t.pr_tag, "PR7");
+    assert!(
+        degenerate_cells(&t).is_empty(),
+        "committed trajectory carries degenerate-window cells: {:?}",
+        degenerate_cells(&t)
+    );
+    for suite in ["throughput", "elimination", "service", "hot-path", "id-lease"] {
+        assert!(t.records.iter().any(|r| r.suite == suite), "suite `{suite}` not recorded");
+    }
+}
+
+#[test]
+fn committed_hot_path_cells_show_flat_route_beating_boxed_route() {
+    let t = committed_pr7();
+    let rate = |counter: &str, threads: usize| -> f64 {
+        t.records
+            .iter()
+            .find(|r| r.suite == "hot-path" && r.counter == counter && r.threads == threads)
+            .unwrap_or_else(|| panic!("missing hot-path cell {counter}/{threads}t"))
+            .ops_per_second
+            .expect("hot-path cells are measured")
+    };
+    for threads in [1usize, 4] {
+        let flat = rate("C(16,16) flat-route", threads);
+        let boxed = rate("C(16,16) boxed-route", threads);
+        assert!(
+            flat > boxed,
+            "recorded trajectory must show the flat route winning at {threads}t: \
+             flat {flat:.0} vs boxed {boxed:.0} ops/s"
+        );
+    }
+}
+
+/// Docs-drift gate for the trajectory: every suite recorded in the
+/// committed `BENCH_PR7.json` must be named in `REPRODUCING.md`'s
+/// perf-trajectory section (CI re-checks this with a grep).
+#[test]
+fn reproducing_md_names_every_recorded_suite() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let reproducing = std::fs::read_to_string(format!("{root}/REPRODUCING.md"))
+        .expect("REPRODUCING.md exists at the workspace root");
+    let t = committed_pr7();
+    let mut suites: Vec<&str> = t.records.iter().map(|r| r.suite.as_str()).collect();
+    suites.sort_unstable();
+    suites.dedup();
+    assert!(suites.len() >= 5, "expected all five suites recorded, got {suites:?}");
+    for suite in suites {
+        assert!(
+            reproducing.contains(&format!("`{suite}`")),
+            "REPRODUCING.md does not name trajectory suite `{suite}`"
+        );
+    }
+}

@@ -7,29 +7,222 @@
 //! count modulo its fan-out), and each wire becomes a pre-resolved route
 //! to either another balancer or an output wire. A token traversal is then
 //! a short loop of `fetch_add` operations with no locks and no allocation.
+//!
+//! ## Flat route layout
+//!
+//! [`CompiledNetwork`] stores **all** balancer output routes in one
+//! contiguous route table. Each balancer owns a single packed `u64` word
+//! carrying its slice offset into that table, its fan-out, and a
+//! power-of-two flag; a traversal step is then `meta word → fetch_add →
+//! mask-or-modulo → route table index`, touching two flat arrays instead
+//! of chasing a per-balancer `Box<[Route]>` allocation. The older
+//! pointer-per-balancer form is retained as [`BoxedRouteNetwork`] — it is
+//! the equivalence oracle for the flat layout (see
+//! `crates/bench/tests/flat_route_equivalence.rs`) and the measured
+//! baseline in the recorded benchmark trajectory (`exp_bench`,
+//! `BENCH_*.json`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use balnet::{Network, Port};
 use crossbeam::utils::CachePadded;
 
-/// Where a wire leads in the compiled form.
+/// Routes pack a wire target into one `u32`: the low 31 bits hold a
+/// balancer or output-wire index, the top bit marks an output wire.
+const OUTPUT_BIT: u32 = 1 << 31;
+
+/// Converts a topology index into the 31-bit route encoding, panicking
+/// with a clear message instead of silently truncating (`as u32` would
+/// wrap on a pathological topology and compile a wrong network).
+fn route_index(index: usize, what: &str) -> u32 {
+    match u32::try_from(index) {
+        Ok(v) if v < OUTPUT_BIT => v,
+        _ => panic!(
+            "{what} {index} exceeds the compiled route limit of {} (indices must fit in 31 bits)",
+            OUTPUT_BIT - 1
+        ),
+    }
+}
+
+/// Where a wire leads in the compiled form (packed, see [`OUTPUT_BIT`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Route {
-    /// The wire feeds the balancer with this index.
-    Balancer(u32),
-    /// The wire is the network output wire with this index.
-    Output(u32),
+struct Route(u32);
+
+impl Route {
+    fn balancer(index: usize) -> Self {
+        Self(route_index(index, "balancer index"))
+    }
+
+    fn output(index: usize) -> Self {
+        Self(route_index(index, "output wire index") | OUTPUT_BIT)
+    }
+
+    /// `Some(balancer index)` if the route feeds a balancer.
+    #[inline]
+    fn balancer_index(self) -> Option<usize> {
+        (self.0 & OUTPUT_BIT == 0).then_some(self.0 as usize)
+    }
+
+    /// `Some(output wire index)` if the route exits the network.
+    #[inline]
+    fn output_wire(self) -> Option<usize> {
+        (self.0 & OUTPUT_BIT != 0).then_some((self.0 & !OUTPUT_BIT) as usize)
+    }
 }
 
 fn compile_port(port: Port) -> Route {
     match port {
-        Port::Balancer { balancer, .. } => Route::Balancer(balancer as u32),
-        Port::Output(o) => Route::Output(o as u32),
+        Port::Balancer { balancer, .. } => Route::balancer(balancer),
+        Port::Output(o) => Route::output(o),
     }
 }
 
-/// One balancer in compiled form.
+// Packed per-balancer metadata word: `offset << 32 | pow2 << 31 | fan_out`.
+// The offset points into the shared route table; the pow2 flag selects the
+// bitmask fast path over `%` in `traverse`.
+const META_OFFSET_SHIFT: u32 = 32;
+const META_POW2_FLAG: u64 = 1 << 31;
+const META_FAN_OUT_MASK: u64 = META_POW2_FLAG - 1;
+
+fn pack_meta(offset: usize, fan_out: usize) -> u64 {
+    let offset = route_index(offset, "route-table offset");
+    let fan_out_bits = route_index(fan_out, "balancer fan-out");
+    let pow2 = if fan_out.is_power_of_two() { META_POW2_FLAG } else { 0 };
+    (u64::from(offset) << META_OFFSET_SHIFT) | pow2 | u64::from(fan_out_bits)
+}
+
+/// A lock-free compiled balancing network, shareable across threads.
+///
+/// The compiled network only captures topology and balancer state; value
+/// dispensing (Fetch&Increment) is layered on top by
+/// [`crate::NetworkCounter`]. All balancer output routes live in one
+/// contiguous table (see the module docs); per-balancer state is one
+/// cache-padded atomic so concurrent tokens on different balancers never
+/// share a line.
+#[derive(Debug)]
+pub struct CompiledNetwork {
+    input_width: usize,
+    output_width: usize,
+    inputs: Box<[Route]>,
+    /// All balancer output routes, contiguous: balancer `i`'s routes are
+    /// `routes[offset_i .. offset_i + fan_out_i]` as packed in `meta[i]`.
+    routes: Box<[Route]>,
+    /// One packed word per balancer (`pack_meta`), read once per step.
+    meta: Box<[u64]>,
+    /// Tokens processed per balancer; state is `processed % fan_out`.
+    processed: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl CompiledNetwork {
+    /// Compiles a validated topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any balancer, output-wire, or route-table index does not
+    /// fit in the 31-bit route encoding (never the case for realistic
+    /// topologies; checked rather than truncated).
+    #[must_use]
+    pub fn new(network: &Network) -> Self {
+        let balancers = network.balancers();
+        let mut routes = Vec::new();
+        let mut meta = Vec::with_capacity(balancers.len());
+        for b in balancers {
+            meta.push(pack_meta(routes.len(), b.fan_out));
+            routes.extend(b.outputs.iter().map(|&p| compile_port(p)));
+        }
+        Self {
+            input_width: network.input_width(),
+            output_width: network.output_width(),
+            inputs: network.inputs().iter().map(|&p| compile_port(p)).collect(),
+            routes: routes.into_boxed_slice(),
+            meta: meta.into_boxed_slice(),
+            processed: (0..balancers.len()).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    /// The network's input width.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.input_width
+    }
+
+    /// The network's output width.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.output_width
+    }
+
+    /// Shepherds one token from `input_wire` to an output wire and returns
+    /// the output wire index. Lock-free: one `fetch_add` per traversed
+    /// balancer, plus one packed-word and one route-table read — no
+    /// per-balancer pointer chase. Power-of-two fan-outs take a bitmask
+    /// instead of `%`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_wire >= input_width()`.
+    #[must_use]
+    pub fn traverse(&self, input_wire: usize) -> usize {
+        assert!(input_wire < self.input_width, "input wire {input_wire} out of range");
+        let mut route = self.inputs[input_wire];
+        loop {
+            match route.balancer_index() {
+                Some(idx) => {
+                    let meta = self.meta[idx];
+                    // Relaxed suffices: correctness relies only on the
+                    // atomicity (per-location total order) of the RMW.
+                    let ticket = self.processed[idx].fetch_add(1, Ordering::Relaxed);
+                    let fan_out = meta & META_FAN_OUT_MASK;
+                    let out = if meta & META_POW2_FLAG != 0 {
+                        ticket & (fan_out - 1)
+                    } else {
+                        ticket % fan_out
+                    };
+                    route = self.routes[(meta >> META_OFFSET_SHIFT) as usize + out as usize];
+                }
+                None => return route.output_wire().expect("non-balancer route is an output"),
+            }
+        }
+    }
+
+    /// The number of tokens each balancer has processed so far (a snapshot;
+    /// exact only in a quiescent state).
+    #[must_use]
+    pub fn balancer_loads(&self) -> Vec<u64> {
+        // Relaxed: reporting-only snapshot, exact at quiescence.
+        self.processed.iter().map(|p| p.load(Ordering::Relaxed)).collect()
+    }
+
+    /// The number of tokens that have exited on each output wire so far,
+    /// reconstructed from the balancer states feeding the outputs. Exact
+    /// only in a quiescent state (no token mid-traversal); intended for
+    /// post-run verification in tests and benches.
+    #[must_use]
+    pub fn quiescent_output_counts(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.output_width];
+        // Each balancer records its own total, so we can directly add its
+        // per-output step distribution.
+        for (idx, &meta) in self.meta.iter().enumerate() {
+            // Relaxed: reporting-only snapshot, exact at quiescence.
+            let total = self.processed[idx].load(Ordering::Relaxed);
+            let fan_out = (meta & META_FAN_OUT_MASK) as usize;
+            let offset = (meta >> META_OFFSET_SHIFT) as usize;
+            for (i, route) in self.routes[offset..offset + fan_out].iter().enumerate() {
+                if let Some(o) = route.output_wire() {
+                    out[o] += balnet::seq::step_value(total, i, fan_out);
+                }
+            }
+        }
+        // Plus tokens that went straight from an input wire to an output
+        // wire (no balancer): those are not tracked here — compiled
+        // networks with balancer-free paths should be verified via
+        // `NetworkCounter` value sets instead.
+        out
+    }
+}
+
+/// One balancer in the boxed-route compiled form (see
+/// [`BoxedRouteNetwork`]).
 #[derive(Debug)]
 struct CompiledBalancer {
     /// Number of tokens processed so far. The balancer's state is
@@ -40,21 +233,30 @@ struct CompiledBalancer {
     outputs: Box<[Route]>,
 }
 
-/// A lock-free compiled balancing network, shareable across threads.
+/// The pre-flattening compiled form: each balancer owns its routes in a
+/// separate `Box<[Route]>`, so every traversal step chases one heap
+/// pointer and pays `ticket % fan_out`.
 ///
-/// The compiled network only captures topology and balancer state; value
-/// dispensing (Fetch&Increment) is layered on top by
-/// [`crate::NetworkCounter`].
+/// Retained deliberately — not dead code: it is the equivalence oracle
+/// the flat [`CompiledNetwork`] is tested against on every seed topology,
+/// and the measured baseline for the `hot-path` suite in the recorded
+/// benchmark trajectory (`exp_bench`). Use [`CompiledNetwork`] everywhere
+/// else.
 #[derive(Debug)]
-pub struct CompiledNetwork {
+pub struct BoxedRouteNetwork {
     input_width: usize,
     output_width: usize,
     inputs: Box<[Route]>,
     balancers: Box<[CompiledBalancer]>,
 }
 
-impl CompiledNetwork {
-    /// Compiles a validated topology.
+impl BoxedRouteNetwork {
+    /// Compiles a validated topology into the boxed-route form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on indices that do not fit the route encoding, exactly like
+    /// [`CompiledNetwork::new`].
     #[must_use]
     pub fn new(network: &Network) -> Self {
         let balancers = network
@@ -62,7 +264,7 @@ impl CompiledNetwork {
             .iter()
             .map(|b| CompiledBalancer {
                 processed: CachePadded::new(AtomicU64::new(0)),
-                fan_out: b.fan_out as u32,
+                fan_out: route_index(b.fan_out, "balancer fan-out"),
                 outputs: b.outputs.iter().map(|&p| compile_port(p)).collect(),
             })
             .collect();
@@ -86,9 +288,8 @@ impl CompiledNetwork {
         self.output_width
     }
 
-    /// Shepherds one token from `input_wire` to an output wire and returns
-    /// the output wire index. Lock-free: one `fetch_add` per traversed
-    /// balancer.
+    /// Shepherds one token from `input_wire` to an output wire — the
+    /// boxed-route (pointer-chasing, `%`-only) traversal.
     ///
     /// # Panics
     ///
@@ -98,16 +299,15 @@ impl CompiledNetwork {
         assert!(input_wire < self.input_width, "input wire {input_wire} out of range");
         let mut route = self.inputs[input_wire];
         loop {
-            match route {
-                Route::Balancer(idx) => {
-                    let b = &self.balancers[idx as usize];
-                    // Relaxed suffices: correctness relies only on the
-                    // atomicity (per-location total order) of the RMW.
+            match route.balancer_index() {
+                Some(idx) => {
+                    let b = &self.balancers[idx];
+                    // Relaxed: see `CompiledNetwork::traverse`.
                     let ticket = b.processed.fetch_add(1, Ordering::Relaxed);
                     let out = (ticket % u64::from(b.fan_out)) as usize;
                     route = b.outputs[out];
                 }
-                Route::Output(o) => return o as usize,
+                None => return route.output_wire().expect("non-balancer route is an output"),
             }
         }
     }
@@ -118,33 +318,6 @@ impl CompiledNetwork {
     pub fn balancer_loads(&self) -> Vec<u64> {
         // Relaxed: reporting-only snapshot, exact at quiescence.
         self.balancers.iter().map(|b| b.processed.load(Ordering::Relaxed)).collect()
-    }
-
-    /// The number of tokens that have exited on each output wire so far,
-    /// reconstructed from the balancer states feeding the outputs. Exact
-    /// only in a quiescent state (no token mid-traversal); intended for
-    /// post-run verification in tests and benches.
-    #[must_use]
-    pub fn quiescent_output_counts(&self) -> Vec<u64> {
-        let mut out = vec![0u64; self.output_width];
-        // Tokens that entered each balancer: recompute by replaying the
-        // step distribution of each balancer's processed count in topo
-        // order is unnecessary here — each balancer records its own total,
-        // so we can directly add its per-output distribution.
-        for b in self.balancers.iter() {
-            // Relaxed: reporting-only snapshot, exact at quiescence.
-            let total = b.processed.load(Ordering::Relaxed);
-            for (i, route) in b.outputs.iter().enumerate() {
-                if let Route::Output(o) = route {
-                    out[*o as usize] += balnet::seq::step_value(total, i, b.fan_out as usize);
-                }
-            }
-        }
-        // Plus tokens that went straight from an input wire to an output
-        // wire (no balancer): those are not tracked here — compiled
-        // networks with balancer-free paths should be verified via
-        // `NetworkCounter` value sets instead.
-        out
     }
 }
 
@@ -206,5 +379,51 @@ mod tests {
         let net = counting_network(4, 4).expect("valid");
         let compiled = CompiledNetwork::new(&net);
         let _ = compiled.traverse(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "balancer index 2147483648 exceeds the compiled route limit")]
+    fn oversized_balancer_index_rejected_not_truncated() {
+        let _ = Route::balancer(1 << 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "output wire index 4294967296 exceeds the compiled route limit")]
+    fn oversized_output_index_rejected_not_truncated() {
+        // Above u32::MAX entirely: the old `as u32` silently wrapped this
+        // to 0; the checked conversion refuses.
+        let _ = Route::output(1 << 32);
+    }
+
+    #[test]
+    fn meta_packing_round_trips_and_flags_powers_of_two() {
+        for (offset, fan_out) in [(0usize, 2usize), (7, 3), (1024, 16), (5, 6), (99, 1)] {
+            let meta = pack_meta(offset, fan_out);
+            assert_eq!((meta >> META_OFFSET_SHIFT) as usize, offset);
+            assert_eq!((meta & META_FAN_OUT_MASK) as usize, fan_out);
+            assert_eq!(meta & META_POW2_FLAG != 0, fan_out.is_power_of_two());
+            // The mask fast path must agree with `%` whenever the flag is
+            // set.
+            if fan_out.is_power_of_two() {
+                for ticket in [0u64, 1, 2, 13, 1 << 40, u64::MAX] {
+                    assert_eq!(ticket & (fan_out as u64 - 1), ticket % fan_out as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_route_form_agrees_with_flat_form() {
+        // Full cross-family equivalence lives in
+        // crates/bench/tests/flat_route_equivalence.rs; this is the unit
+        // smoke on one topology.
+        let net = counting_network(4, 8).expect("valid");
+        let flat = CompiledNetwork::new(&net);
+        let boxed = BoxedRouteNetwork::new(&net);
+        for i in 0..200usize {
+            let wire = (i * 7 + 3) % 4;
+            assert_eq!(flat.traverse(wire), boxed.traverse(wire), "token {i}");
+        }
+        assert_eq!(flat.balancer_loads(), boxed.balancer_loads());
     }
 }

@@ -120,12 +120,13 @@ pub mod sync;
 pub mod throughput;
 pub mod waiting;
 
-pub use compiled::CompiledNetwork;
+pub use compiled::{BoxedRouteNetwork, CompiledNetwork};
 pub use counter::{BlockReserve, CentralCounter, LockCounter, NetworkCounter, SharedCounter};
 pub use diffracting::DiffractingCounter;
 pub use elimination::{EliminationConfig, EliminationCounter};
 pub use stress::{run_stress, Batching, Scenario, StressConfig, StressReport, ValueBitmap};
 pub use throughput::{
-    measure_batched_throughput, measure_throughput, MeasuredWindow, ThroughputMeasurement,
+    measure_batched_throughput, measure_throughput, rate_over, MeasuredWindow,
+    ThroughputMeasurement, MIN_MEASURED_WINDOW,
 };
 pub use waiting::{ParkTable, WaitStrategy};

@@ -334,8 +334,10 @@ pub struct StressReport {
     /// Wall-clock seconds of the measured window (start barrier to last
     /// thread done).
     pub elapsed_secs: f64,
-    /// Aggregate values handed out per second.
-    pub values_per_second: f64,
+    /// Aggregate values handed out per second; `None` when the window was
+    /// degenerate (shorter than [`crate::MIN_MEASURED_WINDOW`]), so a
+    /// near-zero `--quick` window can never report an absurd rate.
+    pub values_per_second: Option<f64>,
     /// Linearizability violations measured from the timestamped records
     /// (`None` unless `record_tokens` was set).
     pub linearizability_violations: Option<u64>,
@@ -492,7 +494,7 @@ pub fn run_stress<C: SharedCounter + ?Sized>(counter: &C, config: &StressConfig)
         first_missing: bitmap.missing_values(OFFENDER_REPORT_LIMIT),
         first_out_of_range: inspector.first_out_of_range.into_inner(),
         elapsed_secs,
-        values_per_second: m as f64 / elapsed_secs.max(f64::EPSILON),
+        values_per_second: crate::rate_over(m, elapsed),
         linearizability_violations,
     }
 }
@@ -685,7 +687,7 @@ mod tests {
         let report = run_stress(&counter, &StressConfig::steady(8, 500));
         assert_eq!(report.total_values, 4_000);
         assert!(report.is_exact_range(), "{report:?}");
-        assert!(report.values_per_second > 0.0);
+        assert!(report.values_per_second.expect("window long enough to measure") > 0.0);
         assert_eq!(report.counter, "C(8,8)");
         assert_eq!(report.scenario, "steady");
         assert!(report.linearizability_violations.is_none());

@@ -75,6 +75,23 @@ impl MeasuredWindow {
     }
 }
 
+/// The shortest window a rate is computed from. Below this, clock
+/// resolution and timestamp plumbing dominate the measurement, and the
+/// old `elapsed.max(EPSILON)` clamp would report an absurd ~1e16×ops
+/// rate; such windows now yield `None` instead of a poisoned number.
+pub const MIN_MEASURED_WINDOW: Duration = Duration::from_micros(1);
+
+/// `total / elapsed` as a per-second rate, or `None` when `elapsed` is
+/// shorter than [`MIN_MEASURED_WINDOW`] (a degenerate window that cannot
+/// support a meaningful rate). Every rate recorded by this crate's
+/// harnesses — and every `exp_*` JSON emitter downstream — goes through
+/// this helper, so degenerate cells are explicit `null`s in reports
+/// rather than silently absurd numbers.
+#[must_use]
+pub fn rate_over(total: u64, elapsed: Duration) -> Option<f64> {
+    (elapsed >= MIN_MEASURED_WINDOW).then(|| total as f64 / elapsed.as_secs_f64())
+}
+
 /// The result of one throughput measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputMeasurement {
@@ -89,8 +106,9 @@ pub struct ThroughputMeasurement {
     /// Wall-clock time of the measured window (barrier release to last
     /// thread done; thread start-up is excluded).
     pub elapsed: Duration,
-    /// Aggregate operations per second.
-    pub ops_per_second: f64,
+    /// Aggregate operations per second; `None` when the window was
+    /// degenerate (shorter than [`MIN_MEASURED_WINDOW`]).
+    pub ops_per_second: Option<f64>,
 }
 
 /// Runs `threads` threads, each performing `ops_per_thread` calls to
@@ -165,7 +183,7 @@ fn measure<C: SharedCounter + ?Sized>(
         ops_per_thread: ops_per_thread * k as u64,
         total_ops,
         elapsed,
-        ops_per_second: total_ops as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        ops_per_second: rate_over(total_ops, elapsed),
     }
 }
 
@@ -180,7 +198,7 @@ mod tests {
         let counter = CentralCounter::new();
         let m = measure_throughput(&counter, 4, 1_000);
         assert_eq!(m.total_ops, 4_000);
-        assert!(m.ops_per_second > 0.0);
+        assert!(m.ops_per_second.expect("window long enough to measure") > 0.0);
         assert_eq!(m.threads, 4);
         // All operations really happened.
         assert_eq!(counter.next(0), 4_000);
@@ -212,7 +230,15 @@ mod tests {
         let counter = NetworkCounter::new("C(8,8)", &net);
         let m = measure_batched_throughput(&counter, 4, 100, 4);
         assert_eq!(m.total_ops, 1_600);
-        assert!(m.ops_per_second > 0.0);
+        assert!(m.ops_per_second.expect("window long enough to measure") > 0.0);
+    }
+
+    #[test]
+    fn degenerate_windows_yield_no_rate() {
+        assert_eq!(rate_over(1_000, Duration::ZERO), None);
+        assert_eq!(rate_over(1_000, Duration::from_nanos(999)), None);
+        let r = rate_over(1_000, Duration::from_secs(2)).expect("measurable window");
+        assert!((r - 500.0).abs() < 1e-9);
     }
 
     #[test]

@@ -86,7 +86,8 @@ fn main() {
             "central fetch_add" => verify_uniqueness(&CentralCounter::new(), threads, 2_000),
             _ => verify_uniqueness(&LockCounter::new(), threads, 2_000),
         };
-        println!("{:<16} {:>14.0} {:>12}", m.counter, m.ops_per_second, ok);
+        let rate = m.ops_per_second.map_or_else(|| "n/a".to_owned(), |r| format!("{r:.0}"));
+        println!("{:<16} {:>14} {:>12}", m.counter, rate, ok);
     }
 
     println!();
