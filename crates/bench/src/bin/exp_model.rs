@@ -1,7 +1,8 @@
 //! Experiment E16 — exhaustive interleaving checking of the lock-free
 //! cores: the elimination arena's slot state machine and the service
-//! layer's eviction/watermark hand-off and rate-limiter rollover, all
-//! explored schedule-by-schedule under a bounded-preemption DFS (see
+//! layer's eviction/watermark hand-off, rate-limiter rollover (including
+//! its torn-read seqlock calibration), and ticket-gate admission bound,
+//! all explored schedule-by-schedule under a bounded-preemption DFS (see
 //! `counting_sim::model`).
 //!
 //! Two kinds of row, both must land for the run to pass:
@@ -31,6 +32,7 @@ use counting_runtime::model_scenarios::{arena_pair, arena_probe, arena_trio, are
 use counting_runtime::WaitStrategy;
 use counting_service::model_scenarios::{
     evict_handoff, evict_handoff_mutated, rate_straddle, rate_straddle_mutated,
+    rate_torn_base_mutated, ticket_admit_bound, ticket_admit_bound_mutated,
 };
 
 /// What a row is asserting: a real protocol explored clean, or a seeded
@@ -179,6 +181,19 @@ fn main() {
             "service: pre-fix straddle (seeded)",
             rate_straddle_mutated,
             rate_straddle,
+        ),
+        run_mutation(
+            &config,
+            "service: torn epoch/base read (seeded)",
+            rate_torn_base_mutated,
+            rate_straddle,
+        ),
+        run_clean(&config, "service: ticket admission bound", ticket_admit_bound),
+        run_mutation(
+            &config,
+            "service: unclamped admit (seeded)",
+            ticket_admit_bound_mutated,
+            ticket_admit_bound,
         ),
     ];
 

@@ -265,6 +265,43 @@ pub struct ServiceBackendIngest {
     pub aggregate_values_per_second: Option<f64>,
 }
 
+/// The JSON document `exp_server --json` writes; `exp_bench` ingests
+/// the subset below (latency histograms and violation tallies stay in
+/// the experiment's own artifact — the trajectory records rates only).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerIngest {
+    /// The seed the arrival schedule and client mix derive from.
+    pub seed: u64,
+    /// One report per backend configuration.
+    pub reports: Vec<ServerBackendIngest>,
+}
+
+/// The per-backend subset of `exp_server`'s report the trajectory needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerBackendIngest {
+    /// Backend configuration label.
+    pub backend: String,
+    /// Simulated clients driven through the run.
+    pub clients: u64,
+    /// Driver threads multiplexing those clients over sockets.
+    pub drivers: usize,
+    /// Aggregate HTTP request rate; `None` for a degenerate window.
+    pub aggregate_requests_per_second: Option<f64>,
+    /// Per-endpoint request rates.
+    pub endpoints: Vec<ServerEndpointIngest>,
+}
+
+/// One endpoint family's rate inside a backend's serving report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerEndpointIngest {
+    /// Endpoint family label (`ticket`, `status`, `lease`, …).
+    pub endpoint: String,
+    /// Requests served on this endpoint.
+    pub requests: u64,
+    /// Endpoint rate; `None` for a degenerate window.
+    pub requests_per_second: Option<f64>,
+}
+
 // ---------------------------------------------------------------------------
 // Suite → record conversion
 // ---------------------------------------------------------------------------
@@ -350,6 +387,44 @@ pub fn records_from_service(doc: &ServiceIngest) -> Vec<BenchRecord> {
                 merge_rate: None,
             },
         );
+    }
+    out
+}
+
+/// Converts an `exp_server` document into trajectory cells: one
+/// aggregate cell per backend plus one per endpoint family, all under
+/// the `serving` suite. "Ops" here are HTTP requests — the first cells
+/// in the trajectory measured end-to-end over real sockets.
+#[must_use]
+pub fn records_from_server(doc: &ServerIngest) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    for report in &doc.reports {
+        push_unique(
+            &mut out,
+            BenchRecord {
+                suite: "serving".to_owned(),
+                scenario: "open-loop/aggregate".to_owned(),
+                counter: report.backend.clone(),
+                threads: report.drivers,
+                batching: "http/keep-alive".to_owned(),
+                ops_per_second: report.aggregate_requests_per_second,
+                merge_rate: None,
+            },
+        );
+        for endpoint in &report.endpoints {
+            push_unique(
+                &mut out,
+                BenchRecord {
+                    suite: "serving".to_owned(),
+                    scenario: format!("open-loop/{}", endpoint.endpoint),
+                    counter: report.backend.clone(),
+                    threads: report.drivers,
+                    batching: "http/keep-alive".to_owned(),
+                    ops_per_second: endpoint.requests_per_second,
+                    merge_rate: None,
+                },
+            );
+        }
     }
     out
 }
@@ -658,6 +733,41 @@ mod tests {
         assert_eq!(records[0].ops_per_second, Some(100.0), "first occurrence wins");
         assert_eq!(records[1].merge_rate, Some(0.8));
         assert_eq!(records[1].threads, 0, "aggregates carry the 0 thread marker");
+    }
+
+    #[test]
+    fn server_conversion_emits_aggregate_and_per_endpoint_cells() {
+        let doc = ServerIngest {
+            seed: 0xE17,
+            reports: vec![ServerBackendIngest {
+                backend: "network[w=4,elim]".to_owned(),
+                clients: 3072,
+                drivers: 8,
+                aggregate_requests_per_second: Some(30_000.0),
+                endpoints: vec![
+                    ServerEndpointIngest {
+                        endpoint: "ticket".to_owned(),
+                        requests: 1024,
+                        requests_per_second: Some(10_000.0),
+                    },
+                    ServerEndpointIngest {
+                        endpoint: "status".to_owned(),
+                        requests: 2048,
+                        requests_per_second: Some(20_000.0),
+                    },
+                ],
+            }],
+        };
+        let records = records_from_server(&doc);
+        assert_eq!(records.len(), 3, "aggregate + one cell per endpoint: {records:?}");
+        assert!(records.iter().all(|r| r.suite == "serving"));
+        assert!(records.iter().all(|r| r.batching == "http/keep-alive"));
+        assert_eq!(records[0].scenario, "open-loop/aggregate");
+        assert_eq!(records[0].ops_per_second, Some(30_000.0));
+        assert_eq!(records[1].scenario, "open-loop/ticket");
+        assert_eq!(records[2].scenario, "open-loop/status");
+        let t = trajectory(records);
+        assert_eq!(validate(&t), Ok(()), "serving cells must form unique keys");
     }
 
     #[test]

@@ -242,6 +242,43 @@ fn exp_service_quick_passes_its_gate_for_both_network_backends() {
     let _ = std::fs::remove_file(&path);
 }
 
+#[test]
+fn exp_server_quick_sustains_the_client_fleet_with_zero_violations() {
+    // The E17 gate: thousands of open-loop simulated clients over real
+    // sockets — every ticket and lease id observed in an HTTP response
+    // must be unique and dense, no rate window may over-admit, and every
+    // waiting client must eventually be admitted (the binary exits
+    // nonzero otherwise, which run_quick rejects). The JSON carries the
+    // per-endpoint latency histograms CI uploads as an artifact.
+    let path = std::env::temp_dir().join(format!("exp_server_smoke_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_server"), &["--quick", "--json", path_str]);
+    assert!(stdout.lines().any(|l| l.starts_with("| ")), "no Markdown table:\n{stdout}");
+    assert!(stdout.contains("## E17"), "missing section heading:\n{stdout}");
+    assert!(
+        stdout.lines().any(|l| l.starts_with("E17-aggregate")),
+        "missing machine-readable aggregate line:\n{stdout}"
+    );
+    let json = std::fs::read_to_string(&path).expect("JSON file written");
+    // 0xE17 = 3607: the default seed must be recorded verbatim.
+    assert!(json.contains("\"seed\":3607"), "missing recorded seed: {json}");
+    assert!(json.contains("\"reports\":["), "missing report array: {json}");
+    assert!(json.contains("\"peak_active\":"), "missing concurrency high-water mark: {json}");
+    assert!(json.contains("\"endpoints\":["), "missing per-endpoint reports: {json}");
+    assert!(json.contains("\"buckets\":["), "missing latency histograms: {json}");
+    assert!(json.contains("\"p99_us\":"), "missing latency percentiles: {json}");
+    for field in [
+        "duplicates",
+        "range_violations",
+        "rate_over_admissions",
+        "unadmitted_clients",
+        "admission_bound_errors",
+    ] {
+        assert_every_report_has_zero(&json, field);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Docs-drift gate: `REPRODUCING.md` maps every experiment binary to the
 /// paper result it reproduces. A new `exp_*` binary that is not added to
 /// the map fails the suite (CI re-checks the same invariant with a grep
@@ -335,7 +372,8 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
     // a prior BENCH_PR0.json with the same throughput cell at half the
     // rate must yield a 2.00x ratio in the printed table.
     use bench::trajectory::{
-        BenchRecord, EliminationIngest, EliminationStressCell, ServiceBackendIngest, ServiceIngest,
+        BenchRecord, EliminationIngest, EliminationStressCell, ServerBackendIngest,
+        ServerEndpointIngest, ServerIngest, ServiceBackendIngest, ServiceIngest,
         StrategyAggregateIngest, ThroughputCell, ThroughputSuiteJson, SCHEMA_VERSION,
     };
     use bench::{HostFingerprint, Trajectory};
@@ -394,6 +432,24 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
         })
         .expect("fixture serializes"),
     );
+    let server = write(
+        "server.json",
+        serde_json::to_string(&ServerIngest {
+            seed: 0xE17,
+            reports: vec![ServerBackendIngest {
+                backend: "network[w=4,elim]".to_owned(),
+                clients: 3072,
+                drivers: 8,
+                aggregate_requests_per_second: Some(30_000.0),
+                endpoints: vec![ServerEndpointIngest {
+                    endpoint: "ticket".to_owned(),
+                    requests: 1024,
+                    requests_per_second: Some(10_000.0),
+                }],
+            }],
+        })
+        .expect("fixture serializes"),
+    );
     let prior = Trajectory {
         schema_version: SCHEMA_VERSION,
         pr_tag: "PR0".to_owned(),
@@ -430,6 +486,8 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
             elimination.to_str().expect("utf-8 temp path"),
             "--ingest-service",
             service.to_str().expect("utf-8 temp path"),
+            "--ingest-server",
+            server.to_str().expect("utf-8 temp path"),
         ],
     );
     assert!(stdout.contains("BENCH_PR0.json"), "prior trajectory not loaded:\n{stdout}");
@@ -440,12 +498,16 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
     let json = std::fs::read_to_string(&out).expect("trajectory file written");
     let t: bench::Trajectory = serde_json::from_str(&json).expect("trajectory parses");
     bench::trajectory::validate(&t).expect("written trajectory is structurally valid");
-    for suite in ["throughput", "elimination", "service", "hot-path", "id-lease"] {
+    for suite in ["throughput", "elimination", "service", "serving", "hot-path", "id-lease"] {
         assert!(t.records.iter().any(|r| r.suite == suite), "missing suite `{suite}`: {json}");
     }
     assert!(
         t.records.iter().any(|r| r.suite == "elimination" && r.merge_rate == Some(0.5)),
         "missing E14c aggregate cell: {json}"
+    );
+    assert!(
+        t.records.iter().any(|r| r.suite == "serving" && r.scenario == "open-loop/ticket"),
+        "missing serving endpoint cell: {json}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -484,8 +546,8 @@ fn exp_model_quick_prints_tables_and_catches_every_mutation() {
     // already rejected a nonzero exit, so FAIL rows cannot be present.
     assert_eq!(
         stdout.lines().filter(|l| l.contains("caught + replayed")).count(),
-        3,
-        "expected all three seeded mutations caught:\n{stdout}"
+        5,
+        "expected all five seeded mutations caught:\n{stdout}"
     );
     assert!(
         !stdout.lines().any(|l| l.contains("FAIL")),

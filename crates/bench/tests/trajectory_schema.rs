@@ -80,14 +80,18 @@ fn missing_required_field_is_a_parse_error_but_unknown_fields_are_tolerated() {
     assert_eq!(back, sample());
 }
 
-fn committed_pr7() -> Trajectory {
+fn committed(tag: &str) -> Trajectory {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let text = std::fs::read_to_string(format!("{root}/BENCH_PR7.json"))
-        .expect("BENCH_PR7.json is committed at the repo root");
+    let text = std::fs::read_to_string(format!("{root}/BENCH_{tag}.json"))
+        .unwrap_or_else(|e| panic!("BENCH_{tag}.json is committed at the repo root: {e}"));
     let trajectory: Trajectory =
         serde_json::from_str(&text).expect("committed trajectory parses under current schema");
     validate(&trajectory).expect("committed trajectory is structurally valid");
     trajectory
+}
+
+fn committed_pr7() -> Trajectory {
+    committed("PR7")
 }
 
 #[test]
@@ -127,19 +131,55 @@ fn committed_hot_path_cells_show_flat_route_beating_boxed_route() {
     }
 }
 
-/// Docs-drift gate for the trajectory: every suite recorded in the
-/// committed `BENCH_PR7.json` must be named in `REPRODUCING.md`'s
+/// The PR8 trajectory adds the first end-to-end cells: the `serving`
+/// suite, measured over real sockets by `exp_server`, with one
+/// aggregate cell per backend plus a cell per endpoint family.
+#[test]
+fn committed_pr8_records_the_serving_suite_end_to_end() {
+    let t = committed("PR8");
+    assert_eq!(t.pr_tag, "PR8");
+    assert!(
+        degenerate_cells(&t).is_empty(),
+        "committed trajectory carries degenerate-window cells: {:?}",
+        degenerate_cells(&t)
+    );
+    let serving: Vec<&BenchRecord> = t.records.iter().filter(|r| r.suite == "serving").collect();
+    assert!(
+        serving.iter().any(|r| r.scenario == "open-loop/aggregate"),
+        "serving suite must carry per-backend aggregate cells: {serving:?}"
+    );
+    for endpoint in ["ticket", "status", "lease", "rate", "admit"] {
+        assert!(
+            serving.iter().any(|r| r.scenario == format!("open-loop/{endpoint}")),
+            "serving suite must carry an `{endpoint}` endpoint cell"
+        );
+    }
+    assert!(
+        serving.iter().all(|r| r.batching == "http/keep-alive"),
+        "serving cells measure HTTP over keep-alive connections"
+    );
+    // The earlier suites keep riding along — PR8 extends the
+    // trajectory, it does not fork it.
+    for suite in ["throughput", "elimination", "service", "hot-path", "id-lease"] {
+        assert!(t.records.iter().any(|r| r.suite == suite), "suite `{suite}` not recorded");
+    }
+}
+
+/// Docs-drift gate for the trajectory: every suite recorded in any
+/// committed `BENCH_*.json` must be named in `REPRODUCING.md`'s
 /// perf-trajectory section (CI re-checks this with a grep).
 #[test]
 fn reproducing_md_names_every_recorded_suite() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let reproducing = std::fs::read_to_string(format!("{root}/REPRODUCING.md"))
         .expect("REPRODUCING.md exists at the workspace root");
-    let t = committed_pr7();
-    let mut suites: Vec<&str> = t.records.iter().map(|r| r.suite.as_str()).collect();
+    let mut suites: Vec<String> = Vec::new();
+    for t in [committed_pr7(), committed("PR8")] {
+        suites.extend(t.records.iter().map(|r| r.suite.clone()));
+    }
     suites.sort_unstable();
     suites.dedup();
-    assert!(suites.len() >= 5, "expected all five suites recorded, got {suites:?}");
+    assert!(suites.len() >= 6, "expected all six suites recorded, got {suites:?}");
     for suite in suites {
         assert!(
             reproducing.contains(&format!("`{suite}`")),

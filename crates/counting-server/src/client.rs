@@ -1,0 +1,167 @@
+//! A minimal blocking HTTP/1.1 client for the admission endpoints.
+//!
+//! One [`ClientConnection`] is one keep-alive socket. The load generator
+//! multiplexes many simulated clients over a few of these; the e2e test
+//! gives each hammering thread its own. The parser accepts exactly what
+//! [`crate::server`] emits (status line, `Content-Length` framing) — it
+//! is a test harness, not a general HTTP client.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A keep-alive connection to a [`crate::server::CountingServer`].
+///
+/// Reconnects transparently when the server closed the previous
+/// exchange (`Connection: close`), so callers can treat it as an
+/// always-usable request channel.
+#[derive(Debug)]
+pub struct ClientConnection {
+    addr: SocketAddr,
+    conn: Option<Conn>,
+}
+
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// One response: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON for every server endpoint).
+    pub body: String,
+}
+
+impl ClientConnection {
+    /// Creates a lazily-connected channel to `addr`.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr, conn: None }
+    }
+
+    /// Sends `GET {target}` and reads the response.
+    ///
+    /// `target` is the path plus optional query, e.g. `/ticket/q` or
+    /// `/lease/q?k=8`.
+    pub fn get(&mut self, target: &str) -> io::Result<ClientResponse> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            // A generous timeout so a harness never hangs on a server
+            // that died mid-exchange.
+            stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.conn = Some(Conn { reader, writer: stream });
+        }
+        let conn = self.conn.as_mut().expect("connection was just established");
+        let result = Self::exchange(conn, target);
+        match result {
+            Ok((response, keep_alive)) => {
+                if !keep_alive {
+                    self.conn = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                // Don't reuse a connection in an unknown protocol state.
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn exchange(conn: &mut Conn, target: &str) -> io::Result<(ClientResponse, bool)> {
+        write!(
+            conn.writer,
+            "GET {target} HTTP/1.1\r\nHost: counting\r\nConnection: keep-alive\r\n\r\n"
+        )?;
+        conn.writer.flush()?;
+
+        let mut line = String::new();
+        conn.reader.read_line(&mut line)?;
+        let status = parse_status_line(line.trim_end()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad status line: {line:?}"))
+        })?;
+
+        let mut content_length: usize = 0;
+        let mut keep_alive = true;
+        loop {
+            line.clear();
+            if conn.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"));
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.eq_ignore_ascii_case("close")
+                {
+                    keep_alive = false;
+                }
+            }
+        }
+
+        let mut body = vec![0u8; content_length];
+        conn.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 body"))?;
+        Ok((ClientResponse { status, body }, keep_alive))
+    }
+}
+
+fn parse_status_line(line: &str) -> Option<u16> {
+    let mut parts = line.split_ascii_whitespace();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CountingServer;
+    use crate::state::ServerConfig;
+
+    #[test]
+    fn round_trips_against_a_live_server() {
+        let server = CountingServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = ClientConnection::new(server.local_addr());
+
+        let first = client.get("/ticket/q").unwrap();
+        assert_eq!(first.status, 200);
+        let second = client.get("/ticket/q").unwrap();
+        assert_eq!(second.status, 200);
+        assert_ne!(first.body, second.body, "tickets are unique");
+
+        let missing = client.get("/nope/q").unwrap();
+        assert_eq!(missing.status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn reconnects_after_a_server_side_close() {
+        let server = CountingServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = ClientConnection::new(server.local_addr());
+        // Malformed query → 400; the route answers but keeps the
+        // connection (only protocol errors close). Force a close by
+        // asking the server directly with Connection: close semantics:
+        // a fresh connection per request still works through the same
+        // handle because the channel reconnects lazily.
+        assert_eq!(client.get("/lease/q?k=0").unwrap().status, 400);
+        assert_eq!(client.get("/lease/q?k=2").unwrap().status, 200);
+        server.shutdown();
+    }
+}

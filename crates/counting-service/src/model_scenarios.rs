@@ -14,6 +14,13 @@
 //!   admission path, where a request naming an already-closed window is
 //!   judged against the current base and a boundary-straddling burst
 //!   over-admits.
+//! * `rate-torn-base` — the limiter's fast path reads `base` without the
+//!   seqlock recheck, so a judger preempted between its epoch and base
+//!   loads judges against a *successor* window's base (a torn pair) and
+//!   over-admits a window that already closed.
+//! * `ticket-unbounded` — [`crate::TicketGate::admit`] reverts to its
+//!   pre-fix unclamped `fetch_add`, pre-admitting tickets that were
+//!   never dispensed (and wrapping the bound on overflow).
 
 use std::sync::Arc;
 
@@ -153,4 +160,79 @@ pub fn rate_straddle() -> Scenario<Vec<(u64, bool)>> {
 #[must_use]
 pub fn rate_straddle_mutated() -> Scenario<Vec<(u64, bool)>> {
     rate_straddle().with_mutation("rate-straddle")
+}
+
+/// [`rate_straddle`]'s arrival pattern with the `rate-torn-base`
+/// mutation seeded: the fast path skips the seqlock recheck, so a
+/// schedule exists where window 0's straggler draws a late counter value,
+/// is preempted between its (even, matching) epoch load and its base
+/// load while window 1's opener installs, and then judges that late
+/// value against window 1's base — admitting a third request under
+/// window 0's name. [`counting_sim::model::explore`] must return a
+/// counterexample; the same exploration over the fixed code
+/// ([`rate_straddle`]) must come back clean, which is what makes
+/// [`crate::RateLimiter`]'s `versioned_base` helper load-bearing.
+#[must_use]
+pub fn rate_torn_base_mutated() -> Scenario<Vec<(u64, bool)>> {
+    rate_straddle().with_mutation("rate-torn-base")
+}
+
+/// The ticket gate's admission bound: one arrival races a capacity
+/// owner releasing far more capacity than there are waiters (including
+/// an overflow-baiting `u64::MAX`). Whatever the schedule, every bound
+/// returned by [`crate::TicketGate::admit`] — and the quiescent
+/// `now_serving` — must stay at or below the one ticket dispensed, and
+/// the bounds a single releaser observes must be non-decreasing (no
+/// overflow wrap ever revokes an admission).
+#[must_use]
+pub fn ticket_admit_bound() -> Scenario<Vec<u64>> {
+    use crate::TicketGate;
+    let gate = Arc::new(TicketGate::new(Arc::new(CentralCounter::new())));
+    let arrival = {
+        let gate = Arc::clone(&gate);
+        Box::new(move || vec![gate.acquire(0)]) as Box<dyn FnOnce() -> Vec<u64> + Send + 'static>
+    };
+    let releaser = {
+        let gate = Arc::clone(&gate);
+        Box::new(move || vec![gate.admit(3), gate.admit(u64::MAX)])
+            as Box<dyn FnOnce() -> Vec<u64> + Send + 'static>
+    };
+    Scenario::new(vec![arrival, releaser], move |outs| {
+        let ticket = outs[0][0];
+        if ticket != 0 {
+            return Err(format!("the sole arrival drew ticket {ticket}, expected 0"));
+        }
+        let bounds = &outs[1];
+        for &bound in bounds {
+            if bound > 1 {
+                return Err(format!("admit returned bound {bound} with only 1 ticket dispensed"));
+            }
+        }
+        if bounds[1] < bounds[0] {
+            return Err(format!(
+                "admission bound went backwards ({} -> {}): the release arithmetic wrapped",
+                bounds[0], bounds[1]
+            ));
+        }
+        let (serving, dispensed) = (gate.now_serving(), gate.dispensed());
+        if dispensed != 1 {
+            return Err(format!("dispensed count drifted: {dispensed}, expected 1"));
+        }
+        if serving > dispensed {
+            return Err(format!(
+                "now_serving {serving} exceeds dispensed {dispensed}: undispensed tickets admitted"
+            ));
+        }
+        Ok(())
+    })
+}
+
+/// [`ticket_admit_bound`] with the `ticket-unbounded` mutation seeded
+/// (the pre-fix unclamped `fetch_add`): already the serial schedule
+/// returns bound `3` from the first release with a single ticket
+/// dispensed, and the second release wraps the bound backwards.
+/// [`counting_sim::model::explore`] must return a counterexample.
+#[must_use]
+pub fn ticket_admit_bound_mutated() -> Scenario<Vec<u64>> {
+    ticket_admit_bound().with_mutation("ticket-unbounded")
 }

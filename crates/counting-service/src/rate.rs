@@ -138,11 +138,7 @@ impl RateLimiter {
             }
             if epoch & 1 == 0 {
                 if window == current {
-                    let base = self.base.load(Ordering::Acquire);
-                    // Seqlock recheck: only judge if window and base
-                    // were stable across both reads — i.e. `base` is
-                    // this window's base, not a successor's.
-                    if self.epoch.load(Ordering::Acquire) == epoch {
+                    if let Some(base) = self.versioned_base(epoch) {
                         return value.wrapping_sub(base) < self.limit;
                     }
                 } else if self
@@ -169,6 +165,35 @@ impl RateLimiter {
         }
         // A stalled opener pins the epoch odd; fail closed.
         false
+    }
+
+    /// The seqlock read side, and the **only** way the fast path may
+    /// read `self.base`: the base is returned solely when the epoch was
+    /// observed stable at `epoch` both before and after the read, so the
+    /// caller judges against *exactly* the base of the window packed
+    /// into `epoch` — never a torn epoch/base pair from a concurrent
+    /// window roll. `None` means a roll intervened; the caller must
+    /// re-read the epoch and re-decide (the new window may have closed
+    /// the request's), not judge.
+    fn versioned_base(&self, epoch: u64) -> Option<u64> {
+        let base = self.base.load(Ordering::Acquire);
+        if mutation_enabled("rate-torn-base") {
+            // The unversioned read this helper exists to make
+            // impossible, kept reachable only under the model checker:
+            // skipping the recheck lets a request judge its (late) value
+            // against a *successor* window's base and over-admit a
+            // window that already closed (see
+            // `model_scenarios::rate_torn_base_mutated`).
+            return Some(base);
+        }
+        // Seqlock recheck: only judge if window and base were stable
+        // across both reads — i.e. `base` is this window's base, not a
+        // successor's.
+        if self.epoch.load(Ordering::Acquire) == epoch {
+            Some(base)
+        } else {
+            None
+        }
     }
 
     /// The pre-fix admission algorithm, kept reachable only as the
@@ -326,6 +351,51 @@ mod tests {
                 admitted as u64 <= limit,
                 "window {window} admitted {admitted} > limit {limit}"
             );
+        }
+    }
+
+    /// Regression for the torn-read boundary race: stragglers hammer a
+    /// window *while* openers roll it over, maximizing the chance that a
+    /// judger's base read straddles an install. Every judgment must go
+    /// through the versioned pair, so no window — open or freshly
+    /// closed — may ever exceed its budget, and a straggler must never
+    /// be admitted under a closed window's name.
+    #[test]
+    fn boundary_rolls_never_over_admit_under_torn_reads() {
+        let limit = 2u64;
+        let windows = 64u64;
+        let limiter = limiter(limit);
+        let per_window: Vec<u64> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..8)
+                .map(|tid| {
+                    let limiter = &limiter;
+                    scope.spawn(move || {
+                        let mut admitted = vec![0u64; windows as usize];
+                        for window in 0..windows {
+                            // Lag half the threads one window behind the
+                            // other half so every window sees judgments
+                            // racing the *next* window's install.
+                            let named = window.saturating_sub(tid as u64 & 1);
+                            for _ in 0..4 {
+                                if limiter.try_acquire(tid, named) {
+                                    admitted[named as usize] += 1;
+                                }
+                            }
+                        }
+                        admitted
+                    })
+                })
+                .collect();
+            let mut totals = vec![0u64; windows as usize];
+            for worker in workers {
+                for (w, n) in worker.join().expect("no panic").into_iter().enumerate() {
+                    totals[w] += n;
+                }
+            }
+            totals
+        });
+        for (window, admitted) in per_window.into_iter().enumerate() {
+            assert!(admitted <= limit, "window {window} admitted {admitted} > limit {limit}");
         }
     }
 

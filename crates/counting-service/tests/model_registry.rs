@@ -16,6 +16,7 @@
 
 use counting_service::model_scenarios::{
     evict_handoff, evict_handoff_mutated, rate_straddle, rate_straddle_mutated,
+    rate_torn_base_mutated, ticket_admit_bound, ticket_admit_bound_mutated,
 };
 use counting_sim::model::{explore, replay, ModelConfig};
 
@@ -85,5 +86,72 @@ fn window_straddling_burst_is_caught_and_replays() {
     // on the pre-fix path.
     if let Err(cex) = replay(&config, rate_straddle, &cex.trace) {
         panic!("the fixed rate limiter failed the mutation's schedule:\n{cex}");
+    }
+}
+
+/// Regression for the torn epoch/base read: with the seqlock recheck
+/// skipped (`rate-torn-base` seeded), a judger preempted between its
+/// epoch and base loads judges a late value against the *next* window's
+/// base and over-admits a closed window. The checker must catch it, and
+/// the versioned read must survive the exact same schedule.
+#[test]
+fn torn_base_read_is_caught_and_replays() {
+    let config = ModelConfig::with_preemptions(2);
+    let report = explore(&config, rate_torn_base_mutated);
+    let cex = report.counterexample.unwrap_or_else(|| {
+        panic!(
+            "the rate-torn-base mutation survived {} executions: the checker has no teeth",
+            report.executions
+        )
+    });
+    assert!(
+        cex.message.contains("over the limit"),
+        "the counterexample must be an over-admission, got: {}",
+        cex.message
+    );
+
+    replay(&config, rate_torn_base_mutated, &cex.trace)
+        .expect_err("the pinned schedule must still fail with the recheck skipped");
+
+    // The versioned-pair read survives the exact schedule that tears
+    // the unversioned one.
+    if let Err(cex) = replay(&config, rate_straddle, &cex.trace) {
+        panic!("the versioned base read failed the torn-read schedule:\n{cex}");
+    }
+}
+
+#[test]
+fn ticket_admission_bound_is_clean_with_two_preemptions() {
+    let config = ModelConfig::with_preemptions(2);
+    let report = explore(&config, ticket_admit_bound);
+    assert!(report.complete, "exploration hit a budget: {report:?}");
+    if let Some(cex) = &report.counterexample {
+        panic!("the clamped ticket gate has a real counterexample:\n{cex}");
+    }
+    assert!(report.executions > 1, "no interleaving was actually explored");
+}
+
+/// Regression for the unbounded `TicketGate::admit`: with the clamp
+/// removed (`ticket-unbounded` seeded), releasing capacity into a
+/// waiting room with one ticket pre-admits tickets that were never
+/// dispensed (and the overflow-baiting second release wraps the bound).
+#[test]
+fn unclamped_admit_is_caught_and_replays() {
+    let config = ModelConfig::with_preemptions(2);
+    let report = explore(&config, ticket_admit_bound_mutated);
+    let cex = report.counterexample.unwrap_or_else(|| {
+        panic!(
+            "the ticket-unbounded mutation survived {} executions: the checker has no teeth",
+            report.executions
+        )
+    });
+
+    replay(&config, ticket_admit_bound_mutated, &cex.trace)
+        .expect_err("the pinned schedule must still fail on the unclamped gate");
+
+    // The clamped gate survives the exact schedule that over-admits on
+    // the pre-fix path.
+    if let Err(cex) = replay(&config, ticket_admit_bound, &cex.trace) {
+        panic!("the clamped ticket gate failed the mutation's schedule:\n{cex}");
     }
 }

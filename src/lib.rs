@@ -23,6 +23,10 @@
 //! * [`service`] (crate `counting-service`) — the multi-tenant serving
 //!   layer: a sharded registry of named counters plus id-lease, ticket
 //!   and rate-limit workload adapters;
+//! * [`server`] (crate `counting-server`) — the HTTP/1.1 admission and
+//!   id service: a blocking worker-pool server exposing the service
+//!   layer's adapters over real sockets, plus its keep-alive test
+//!   client;
 //! * [`sorting`] (crate `sortnet`) — comparator networks derived from the
 //!   counting constructions.
 //!
@@ -82,6 +86,12 @@ pub mod runtime {
 /// `counting-service` crate).
 pub mod service {
     pub use counting_service::*;
+}
+
+/// HTTP serving layer for the counter service (re-export of the
+/// `counting-server` crate).
+pub mod server {
+    pub use counting_server::*;
 }
 
 /// Sorting networks derived from counting networks (re-export of the
