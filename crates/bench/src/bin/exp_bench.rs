@@ -5,8 +5,8 @@
 //! [`counting_runtime::CompiledNetwork`] traversal) and `id-lease`
 //! (lease-cached vs per-op id grants) suites, runs the sibling
 //! `exp_throughput` / `exp_elimination` / `exp_service` / `exp_server`
-//! binaries with `--json` under the same `--seed` and ingests their
-//! reports, assembles
+//! / `exp_cluster` binaries with `--json` under the same `--seed` and
+//! ingests their reports, assembles
 //! everything into one `BENCH_<tag>.json` trajectory file, then loads
 //! every committed `BENCH_*.json` and prints the per-cell ratio table.
 //!
@@ -25,8 +25,8 @@
 //! * `--dir <dir>` — where committed `BENCH_*.json` live (default `.`);
 //! * `--native-only` — skip the sibling suites (hot-path + id-lease only;
 //!   what the smoke test runs, since sibling binaries may not be built);
-//! * `--ingest-throughput/-elimination/-service/-server <path>` — use an
-//!   existing suite JSON instead of spawning that sibling;
+//! * `--ingest-throughput/-elimination/-service/-server/-cluster <path>`
+//!   — use an existing suite JSON instead of spawning that sibling;
 //! * `--compare-only` — no measurement: load `--dir`, print the ratio
 //!   table, exit nonzero on drift.
 //!
@@ -137,6 +137,11 @@ fn main() {
             .map_or_else(|| run_sibling("exp_server", quick, seed, &tmp), PathBuf::from);
         let doc: trajectory::ServerIngest = read_json(&path, "server");
         records.extend(trajectory::records_from_server(&doc));
+
+        let path = flag_value(&args, "--ingest-cluster")
+            .map_or_else(|| run_sibling("exp_cluster", quick, seed, &tmp), PathBuf::from);
+        let doc: trajectory::ClusterIngest = read_json(&path, "cluster");
+        records.extend(trajectory::records_from_cluster(&doc));
     }
 
     let current = Trajectory {

@@ -1,0 +1,255 @@
+//! Experiment E18 — the distributed counting cluster under simulated
+//! faults: every cell of a node-count × fault-plan × churn-plan sweep
+//! runs the block-lease protocol through the deterministic
+//! discrete-event simulation ([`counting_cluster::run_sim`]) and checks
+//! global uniqueness plus the exact-range invariant at quiescence.
+//!
+//! Everything in a cell — demand schedule, crash/restart/join/leave
+//! plan, per-hop drop/duplicate/delay decisions — derives from `--seed`,
+//! so the whole sweep (including the JSON artifact, which carries no
+//! wall-clock data) is byte-identical across runs: a failing cell *is*
+//! its replay recipe.
+//!
+//! `--mutation skip-recovery|grant-no-dedup` injects a calibration bug
+//! and inverts the gate: the run fails unless the checker catches the
+//! mutation somewhere in the sweep. CI runs both directions.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_cluster
+//! [-- --quick] [--json <path>] [--seed <u64>] [--mutation <flag>]`
+
+use bench::Table;
+use counting_cluster::{run_sim, ClusterSimConfig, Mutation};
+use counting_sim::des::FaultPlan;
+use serde::Serialize;
+
+/// Default `--seed`: every cell's demand, churn and fault streams
+/// derive from it (each cell salts it with its own index).
+const DEFAULT_SEED: u64 = 0xE18;
+
+/// One fault level of the sweep.
+struct FaultLevel {
+    label: &'static str,
+    plan: FaultPlan,
+}
+
+/// One churn level of the sweep.
+struct ChurnLevel {
+    label: &'static str,
+    crashes: u64,
+    joins: u64,
+    leaves: u64,
+}
+
+/// The whole JSON document. Deliberately free of wall-clock and host
+/// data: two runs under one seed must serialize byte-identically (the
+/// smoke suite pins this).
+#[derive(Debug, Serialize)]
+struct ClusterJson {
+    seed: u64,
+    mutation: Option<String>,
+    reports: Vec<ClusterCellReport>,
+}
+
+/// One sweep cell's outcome.
+#[derive(Debug, Serialize)]
+struct ClusterCellReport {
+    workers: u64,
+    fault: String,
+    churn: String,
+    drop_per_mille: u32,
+    dup_per_mille: u32,
+    crashes: u64,
+    restarts: u64,
+    joins: u64,
+    leaves: u64,
+    handed: u64,
+    unique: u64,
+    dropped_hops: u64,
+    duplicated_hops: u64,
+    converged: bool,
+    final_tick: u64,
+    /// Hand-outs per 1000 virtual ticks — a *deterministic* rate, so it
+    /// can live in the recorded trajectory without host noise.
+    values_per_kilotick: Option<f64>,
+    violations: Vec<String>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
+    let seed: u64 = args.iter().position(|a| a == "--seed").map_or(DEFAULT_SEED, |i| {
+        args.get(i + 1).expect("--seed requires a value").parse().expect("--seed takes a u64")
+    });
+    let mutation = args.iter().position(|a| a == "--mutation").map(|i| {
+        let flag = args.get(i + 1).expect("--mutation requires a value");
+        Mutation::parse(flag).unwrap_or_else(|| {
+            panic!("unknown --mutation {flag:?} (skip-recovery | grant-no-dedup)")
+        })
+    });
+
+    let worker_counts: &[u64] = if quick { &[2, 4] } else { &[2, 4, 8] };
+    let fault_levels = [
+        FaultLevel { label: "reliable", plan: FaultPlan::reliable(1) },
+        FaultLevel {
+            label: "lossy",
+            plan: FaultPlan { drop_per_mille: 50, dup_per_mille: 30, min_delay: 1, max_delay: 20 },
+        },
+        FaultLevel {
+            label: "chaos",
+            plan: FaultPlan { drop_per_mille: 120, dup_per_mille: 80, min_delay: 1, max_delay: 40 },
+        },
+    ];
+    let fault_levels: &[FaultLevel] = if quick { &fault_levels[1..] } else { &fault_levels };
+    let churn_levels = [
+        ChurnLevel { label: "calm", crashes: 0, joins: 0, leaves: 0 },
+        ChurnLevel { label: "churny", crashes: 2, joins: 1, leaves: 1 },
+    ];
+    let (demand_per_node, horizon) = if quick { (60, 3_000) } else { (200, 8_000) };
+
+    println!(
+        "## E18 — distributed counting cluster, block-lease protocol under a \
+         deterministic fault-injecting simulation (seed {seed}{})\n",
+        mutation.map_or_else(String::new, |m| format!(", mutation {}", m.flag()))
+    );
+
+    let mut table = Table::new(vec![
+        "cell",
+        "handed",
+        "dropped",
+        "duplicated",
+        "churn c/r/j/l",
+        "values/ktick",
+        "status",
+    ]);
+    let mut reports = Vec::new();
+    let mut cell_index = 0u64;
+    for &workers in worker_counts {
+        for fault in fault_levels {
+            for churn in &churn_levels {
+                let config = ClusterSimConfig {
+                    workers,
+                    demand_per_node,
+                    horizon,
+                    fault: fault.plan,
+                    crashes: churn.crashes,
+                    joins: churn.joins,
+                    leaves: churn.leaves,
+                    mutation,
+                    ..ClusterSimConfig::default()
+                };
+                // Each cell gets its own deterministic sub-seed.
+                let cell_seed = seed.wrapping_add(cell_index.wrapping_mul(0x9E37_79B9));
+                cell_index += 1;
+                let report = run_sim(&config, cell_seed);
+
+                let rate = (report.final_tick > 0)
+                    .then(|| report.handed as f64 * 1_000.0 / report.final_tick as f64);
+                let label = format!("{}n/{}/{}", workers, fault.label, churn.label);
+                let status = if report.violations.is_empty() && report.converged {
+                    "ok".to_owned()
+                } else if report.converged {
+                    format!("VIOLATED({})", report.violations.len())
+                } else {
+                    "STUCK".to_owned()
+                };
+                table.push_row(vec![
+                    label.clone(),
+                    report.handed.to_string(),
+                    report.stats.dropped.to_string(),
+                    report.stats.duplicated.to_string(),
+                    format!(
+                        "{}/{}/{}/{}",
+                        report.stats.crashes,
+                        report.stats.restarts,
+                        report.stats.joins,
+                        report.stats.leaves
+                    ),
+                    rate.map_or_else(|| "n/a".to_owned(), |r| format!("{r:.1}")),
+                    status,
+                ]);
+                println!(
+                    "E18-aggregate cell={label} seed={cell_seed} handed={} unique={} \
+                     dropped={} duplicated={} converged={} violations={}",
+                    report.handed,
+                    report.unique,
+                    report.stats.dropped,
+                    report.stats.duplicated,
+                    report.converged,
+                    report.violations.len()
+                );
+                reports.push(ClusterCellReport {
+                    workers,
+                    fault: fault.label.to_owned(),
+                    churn: churn.label.to_owned(),
+                    drop_per_mille: fault.plan.drop_per_mille,
+                    dup_per_mille: fault.plan.dup_per_mille,
+                    crashes: report.stats.crashes,
+                    restarts: report.stats.restarts,
+                    joins: report.stats.joins,
+                    leaves: report.stats.leaves,
+                    handed: report.handed,
+                    unique: report.unique,
+                    dropped_hops: report.stats.dropped,
+                    duplicated_hops: report.stats.duplicated,
+                    converged: report.converged,
+                    final_tick: report.final_tick,
+                    values_per_kilotick: rate,
+                    violations: report.violations,
+                });
+            }
+        }
+    }
+    println!("\n{}", table.to_markdown());
+    println!(
+        "Notes: every value handed out anywhere in the cluster is checked online for\n\
+         global uniqueness, and at quiescence the coordinator's truncated grants plus\n\
+         its free-list must tile 0..cursor exactly — across message loss, duplication,\n\
+         reordering, crash-restarts (watermark recovery) and membership churn. The\n\
+         rate column is per *virtual* kilotick: deterministic, host-independent.\n"
+    );
+
+    let doc = ClusterJson { seed, mutation: mutation.map(|m| m.flag().to_owned()), reports };
+    let json = serde_json::to_string(&doc).expect("reports serialize");
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write JSON report file");
+            println!("JSON written to {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    let broken: Vec<&ClusterCellReport> =
+        doc.reports.iter().filter(|r| !r.violations.is_empty() || !r.converged).collect();
+    match mutation {
+        None => {
+            // Correctness gate: the clean protocol must survive every
+            // cell of the sweep.
+            if !broken.is_empty() {
+                eprintln!("error: {} cell(s) violated the global counting contract", broken.len());
+                std::process::exit(1);
+            }
+        }
+        Some(m) => {
+            // Calibration gate, inverted: the injected bug must be
+            // caught somewhere, or the checker has no teeth.
+            if broken.is_empty() {
+                eprintln!(
+                    "error: mutation {} survived all {} cells — the checker has no teeth",
+                    m.flag(),
+                    doc.reports.len()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "mutation {} caught in {}/{} cells",
+                m.flag(),
+                broken.len(),
+                doc.reports.len()
+            );
+        }
+    }
+}

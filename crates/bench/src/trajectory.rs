@@ -302,6 +302,36 @@ pub struct ServerEndpointIngest {
     pub requests_per_second: Option<f64>,
 }
 
+/// The JSON document `exp_cluster --json` writes; `exp_bench` ingests
+/// the subset below. Cluster rates are per *virtual* kilotick — fully
+/// deterministic under the recorded seed, so these cells never carry
+/// host noise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterIngest {
+    /// The seed every cell's demand/churn/fault streams derive from.
+    pub seed: u64,
+    /// The injected calibration mutation, if any (mutated sweeps are
+    /// never recorded into a trajectory).
+    pub mutation: Option<String>,
+    /// One report per sweep cell.
+    pub reports: Vec<ClusterCellIngest>,
+}
+
+/// The per-cell subset of `exp_cluster`'s report the trajectory needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterCellIngest {
+    /// Worker node count.
+    pub workers: u64,
+    /// Fault-level label (`reliable`, `lossy`, `chaos`).
+    pub fault: String,
+    /// Churn-level label (`calm`, `churny`).
+    pub churn: String,
+    /// Values handed out across the cluster.
+    pub handed: u64,
+    /// Hand-outs per 1000 virtual ticks; `None` for a zero-length run.
+    pub values_per_kilotick: Option<f64>,
+}
+
 // ---------------------------------------------------------------------------
 // Suite → record conversion
 // ---------------------------------------------------------------------------
@@ -425,6 +455,35 @@ pub fn records_from_server(doc: &ServerIngest) -> Vec<BenchRecord> {
                 },
             );
         }
+    }
+    out
+}
+
+/// Converts an `exp_cluster` document into trajectory cells under the
+/// `cluster` suite. "Ops" here are hand-outs per virtual kilotick — the
+/// only deterministic rate in the trajectory (same seed, same number,
+/// any host). Mutated sweeps are refused: a calibration run is not a
+/// measurement.
+#[must_use]
+pub fn records_from_cluster(doc: &ClusterIngest) -> Vec<BenchRecord> {
+    assert!(
+        doc.mutation.is_none(),
+        "refusing to record a mutated cluster sweep into the trajectory"
+    );
+    let mut out = Vec::new();
+    for report in &doc.reports {
+        push_unique(
+            &mut out,
+            BenchRecord {
+                suite: "cluster".to_owned(),
+                scenario: format!("{}/{}", report.fault, report.churn),
+                counter: format!("cluster[{}nodes]", report.workers),
+                threads: report.workers as usize,
+                batching: "block-lease".to_owned(),
+                ops_per_second: report.values_per_kilotick,
+                merge_rate: None,
+            },
+        );
     }
     out
 }
@@ -768,6 +827,52 @@ mod tests {
         assert_eq!(records[2].scenario, "open-loop/status");
         let t = trajectory(records);
         assert_eq!(validate(&t), Ok(()), "serving cells must form unique keys");
+    }
+
+    #[test]
+    fn cluster_conversion_emits_one_cell_per_sweep_point() {
+        let doc = ClusterIngest {
+            seed: 0xE18,
+            mutation: None,
+            reports: vec![
+                ClusterCellIngest {
+                    workers: 4,
+                    fault: "lossy".to_owned(),
+                    churn: "churny".to_owned(),
+                    handed: 900,
+                    values_per_kilotick: Some(112.5),
+                },
+                ClusterCellIngest {
+                    workers: 8,
+                    fault: "chaos".to_owned(),
+                    churn: "calm".to_owned(),
+                    handed: 1600,
+                    values_per_kilotick: Some(200.0),
+                },
+            ],
+        };
+        let records = records_from_cluster(&doc);
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.suite == "cluster"));
+        assert!(records.iter().all(|r| r.batching == "block-lease"));
+        assert_eq!(records[0].scenario, "lossy/churny");
+        assert_eq!(records[0].counter, "cluster[4nodes]");
+        assert_eq!(records[0].threads, 4);
+        assert_eq!(records[0].ops_per_second, Some(112.5));
+        assert_eq!(records[1].counter, "cluster[8nodes]");
+        let t = trajectory(records);
+        assert_eq!(validate(&t), Ok(()), "cluster cells must form unique keys");
+    }
+
+    #[test]
+    #[should_panic(expected = "mutated cluster sweep")]
+    fn cluster_conversion_refuses_a_mutated_sweep() {
+        let doc = ClusterIngest {
+            seed: 0xE18,
+            mutation: Some("skip-recovery".to_owned()),
+            reports: Vec::new(),
+        };
+        let _ = records_from_cluster(&doc);
     }
 
     #[test]

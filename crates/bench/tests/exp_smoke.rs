@@ -279,6 +279,85 @@ fn exp_server_quick_sustains_the_client_fleet_with_zero_violations() {
     let _ = std::fs::remove_file(&path);
 }
 
+#[test]
+fn exp_cluster_quick_passes_every_sweep_cell() {
+    // The E18 gate: the clean block-lease protocol survives every cell
+    // of the node-count × fault × churn sweep (the binary exits nonzero
+    // on any uniqueness / exact-range / liveness violation, which
+    // run_quick rejects).
+    let path = std::env::temp_dir().join(format!("exp_cluster_smoke_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_cluster"), &["--quick", "--json", path_str]);
+    assert!(stdout.lines().any(|l| l.starts_with("| ")), "no Markdown table:\n{stdout}");
+    assert!(stdout.contains("## E18"), "missing section heading:\n{stdout}");
+    assert!(
+        stdout.lines().any(|l| l.starts_with("E18-aggregate")),
+        "missing machine-readable aggregate line:\n{stdout}"
+    );
+    let json = std::fs::read_to_string(&path).expect("JSON file written");
+    // 0xE18 = 3608: the default seed must be recorded verbatim.
+    assert!(json.contains("\"seed\":3608"), "missing recorded seed: {json}");
+    assert!(json.contains("\"values_per_kilotick\":"), "missing deterministic rate: {json}");
+    assert!(json.contains("\"churn\":\"churny\""), "missing churny cells: {json}");
+    assert!(!json.contains("\"converged\":false"), "a cell failed to drain: {json}");
+    assert!(json.contains("\"violations\":[]"), "missing violation arrays: {json}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn exp_cluster_same_seed_is_byte_identical() {
+    // Determinism regression (the tentpole's core claim): two runs under
+    // one --seed must produce byte-identical stdout *and* JSON — the
+    // artifact carries no wall-clock or host data, so any divergence is
+    // a nondeterminism bug in the simulation, not noise.
+    let dir = std::env::temp_dir().join(format!("exp_cluster_det_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_a = dir.join("a.json");
+    let json_b = dir.join("b.json");
+    let stdout_a = run_quick(
+        env!("CARGO_BIN_EXE_exp_cluster"),
+        &["--quick", "--seed", "42", "--json", json_a.to_str().expect("utf-8 temp path")],
+    );
+    let stdout_b = run_quick(
+        env!("CARGO_BIN_EXE_exp_cluster"),
+        &["--quick", "--seed", "42", "--json", json_b.to_str().expect("utf-8 temp path")],
+    );
+    let strip = |s: &str| {
+        // The trailing "JSON written to <path>" line names different
+        // temp files; everything above it must match byte-for-byte.
+        s.lines().filter(|l| !l.starts_with("JSON written to")).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(strip(&stdout_a), strip(&stdout_b), "stdout diverged under one seed");
+    let bytes_a = std::fs::read(&json_a).expect("first JSON written");
+    let bytes_b = std::fs::read(&json_b).expect("second JSON written");
+    assert_eq!(bytes_a, bytes_b, "JSON artifacts diverged under one seed");
+    // And a different seed must actually change the run.
+    let json_c = dir.join("c.json");
+    let _ = run_quick(
+        env!("CARGO_BIN_EXE_exp_cluster"),
+        &["--quick", "--seed", "43", "--json", json_c.to_str().expect("utf-8 temp path")],
+    );
+    let bytes_c = std::fs::read(&json_c).expect("third JSON written");
+    assert_ne!(bytes_a, bytes_c, "seed 43 reproduced seed 42's sweep exactly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exp_cluster_mutations_are_caught_by_the_checker() {
+    // Calibration in the spawned-binary direction: each injected
+    // protocol bug must be caught somewhere in the sweep (the binary
+    // inverts its gate under --mutation and exits nonzero if the bug
+    // survives every cell).
+    for mutation in ["skip-recovery", "grant-no-dedup"] {
+        let stdout =
+            run_quick(env!("CARGO_BIN_EXE_exp_cluster"), &["--quick", "--mutation", mutation]);
+        assert!(
+            stdout.contains(&format!("mutation {mutation} caught in")),
+            "{mutation} was not reported as caught:\n{stdout}"
+        );
+    }
+}
+
 /// Docs-drift gate: `REPRODUCING.md` maps every experiment binary to the
 /// paper result it reproduces. A new `exp_*` binary that is not added to
 /// the map fails the suite (CI re-checks the same invariant with a grep
@@ -372,9 +451,10 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
     // a prior BENCH_PR0.json with the same throughput cell at half the
     // rate must yield a 2.00x ratio in the printed table.
     use bench::trajectory::{
-        BenchRecord, EliminationIngest, EliminationStressCell, ServerBackendIngest,
-        ServerEndpointIngest, ServerIngest, ServiceBackendIngest, ServiceIngest,
-        StrategyAggregateIngest, ThroughputCell, ThroughputSuiteJson, SCHEMA_VERSION,
+        BenchRecord, ClusterCellIngest, ClusterIngest, EliminationIngest, EliminationStressCell,
+        ServerBackendIngest, ServerEndpointIngest, ServerIngest, ServiceBackendIngest,
+        ServiceIngest, StrategyAggregateIngest, ThroughputCell, ThroughputSuiteJson,
+        SCHEMA_VERSION,
     };
     use bench::{HostFingerprint, Trajectory};
     let dir = std::env::temp_dir().join(format!("exp_bench_smoke_ingest_{}", std::process::id()));
@@ -450,6 +530,21 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
         })
         .expect("fixture serializes"),
     );
+    let cluster = write(
+        "cluster.json",
+        serde_json::to_string(&ClusterIngest {
+            seed: 0xE18,
+            mutation: None,
+            reports: vec![ClusterCellIngest {
+                workers: 4,
+                fault: "lossy".to_owned(),
+                churn: "churny".to_owned(),
+                handed: 900,
+                values_per_kilotick: Some(112.5),
+            }],
+        })
+        .expect("fixture serializes"),
+    );
     let prior = Trajectory {
         schema_version: SCHEMA_VERSION,
         pr_tag: "PR0".to_owned(),
@@ -488,6 +583,8 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
             service.to_str().expect("utf-8 temp path"),
             "--ingest-server",
             server.to_str().expect("utf-8 temp path"),
+            "--ingest-cluster",
+            cluster.to_str().expect("utf-8 temp path"),
         ],
     );
     assert!(stdout.contains("BENCH_PR0.json"), "prior trajectory not loaded:\n{stdout}");
@@ -498,7 +595,9 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
     let json = std::fs::read_to_string(&out).expect("trajectory file written");
     let t: bench::Trajectory = serde_json::from_str(&json).expect("trajectory parses");
     bench::trajectory::validate(&t).expect("written trajectory is structurally valid");
-    for suite in ["throughput", "elimination", "service", "serving", "hot-path", "id-lease"] {
+    for suite in
+        ["throughput", "elimination", "service", "serving", "cluster", "hot-path", "id-lease"]
+    {
         assert!(t.records.iter().any(|r| r.suite == suite), "missing suite `{suite}`: {json}");
     }
     assert!(
@@ -508,6 +607,12 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
     assert!(
         t.records.iter().any(|r| r.suite == "serving" && r.scenario == "open-loop/ticket"),
         "missing serving endpoint cell: {json}"
+    );
+    assert!(
+        t.records.iter().any(|r| r.suite == "cluster"
+            && r.counter == "cluster[4nodes]"
+            && r.scenario == "lossy/churny"),
+        "missing cluster sweep cell: {json}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

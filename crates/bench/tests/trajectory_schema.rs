@@ -165,6 +165,43 @@ fn committed_pr8_records_the_serving_suite_end_to_end() {
     }
 }
 
+/// The PR9 trajectory adds the `cluster` suite: hand-out rates per
+/// *virtual* kilotick from the fault-injected block-lease simulation —
+/// the only suite whose cells are fully deterministic under the
+/// recorded seed (same seed, same numbers, any host).
+#[test]
+fn committed_pr9_records_the_cluster_suite() {
+    let t = committed("PR9");
+    assert_eq!(t.pr_tag, "PR9");
+    assert!(
+        degenerate_cells(&t).is_empty(),
+        "committed trajectory carries degenerate-window cells: {:?}",
+        degenerate_cells(&t)
+    );
+    let cluster: Vec<&BenchRecord> = t.records.iter().filter(|r| r.suite == "cluster").collect();
+    for counter in ["cluster[2nodes]", "cluster[4nodes]", "cluster[8nodes]"] {
+        assert!(
+            cluster.iter().any(|r| r.counter == counter),
+            "cluster suite must sweep node counts; missing `{counter}`: {cluster:?}"
+        );
+    }
+    for scenario in ["reliable/calm", "lossy/churny", "chaos/churny"] {
+        assert!(
+            cluster.iter().any(|r| r.scenario == scenario),
+            "cluster suite must sweep fault × churn; missing `{scenario}`"
+        );
+    }
+    assert!(
+        cluster.iter().all(|r| r.batching == "block-lease"),
+        "cluster cells measure block-lease hand-outs"
+    );
+    // The earlier suites keep riding along — PR9 extends the
+    // trajectory, it does not fork it.
+    for suite in ["throughput", "elimination", "service", "serving", "hot-path", "id-lease"] {
+        assert!(t.records.iter().any(|r| r.suite == suite), "suite `{suite}` not recorded");
+    }
+}
+
 /// Docs-drift gate for the trajectory: every suite recorded in any
 /// committed `BENCH_*.json` must be named in `REPRODUCING.md`'s
 /// perf-trajectory section (CI re-checks this with a grep).
@@ -174,12 +211,12 @@ fn reproducing_md_names_every_recorded_suite() {
     let reproducing = std::fs::read_to_string(format!("{root}/REPRODUCING.md"))
         .expect("REPRODUCING.md exists at the workspace root");
     let mut suites: Vec<String> = Vec::new();
-    for t in [committed_pr7(), committed("PR8")] {
+    for t in [committed_pr7(), committed("PR8"), committed("PR9")] {
         suites.extend(t.records.iter().map(|r| r.suite.clone()));
     }
     suites.sort_unstable();
     suites.dedup();
-    assert!(suites.len() >= 6, "expected all six suites recorded, got {suites:?}");
+    assert!(suites.len() >= 7, "expected all seven suites recorded, got {suites:?}");
     for suite in suites {
         assert!(
             reproducing.contains(&format!("`{suite}`")),

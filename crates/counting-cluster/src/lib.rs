@@ -1,0 +1,74 @@
+//! # counting-cluster — distributed block-lease counting
+//!
+//! The crates below this one scale the paper's counting network *within*
+//! one address space; this crate takes the next step the ROADMAP
+//! north-star asks for: `N` nodes, each owning a local
+//! [`counting_service::CounterService`] registry, cooperating over a
+//! message-passing layer to hand out one globally unique, gap-free value
+//! stream — and staying correct while the network drops, duplicates,
+//! delays and reorders messages and nodes crash, restart, join and
+//! leave.
+//!
+//! ## The block-lease protocol
+//!
+//! A durable **coordinator** owns the global value space as a cursor
+//! plus a free-list and leases **disjoint contiguous blocks** to member
+//! nodes ([`coordinator`]). Each **node** ([`node`]) serves local demand
+//! from its leased blocks through its tenant registry — the node's local
+//! stream index maps through its block ledger to a global value — and
+//! requests a new lease when demand outruns its ledger. The protocol is
+//! built for an unreliable network:
+//!
+//! * every request carries a per-node request id; requests are retried
+//!   and the coordinator deduplicates by `(node, request id)`,
+//!   re-sending the recorded grant instead of allocating twice;
+//! * a restarted node replays its durable state: its local watermark
+//!   re-seeds the registry via
+//!   [`counting_service::CounterService::restore_watermark`] (the same
+//!   resume rule tenant eviction uses), and an in-doubt request is
+//!   resolved with a recovery query the coordinator answers from its
+//!   grant log — or **tombstones**, so the in-doubt id can never be
+//!   granted later;
+//! * membership is versioned in epochs, committed by a worker quorum,
+//!   and propagated down a heap-shaped tree over the member list
+//!   ([`message::next_hop`]); lease traffic rides the same tree with a
+//!   direct-send fallback, and a heartbeat failure detector drives
+//!   epoch changes;
+//! * a leaving (or draining) node returns its unconsumed lease tail;
+//!   the coordinator truncates the node's grants at the returned
+//!   watermark and recycles the remainder through the free-list, so the
+//!   global stream ends exactly range-tiled: handed-out values plus the
+//!   free-list reconstitute `0..cursor` with no gap, no overlap.
+//!
+//! State machines are **sans-IO**: they consume [`message::Envelope`]s
+//! and ticks, and emit [`message::Outgoing`] hops through an outbox. A
+//! driver flushes the outbox through a [`transport::Transport`] — the
+//! in-memory [`transport::ChannelTransport`] for live threads
+//! ([`live`]), or the deterministic fault-injecting simulation
+//! ([`sim`]) built on [`counting_sim::des`], which can drop, duplicate,
+//! delay and reorder every hop from a seeded fault plan, crash and
+//! restart nodes, and checks global uniqueness online plus exact-range
+//! tiling at quiescence ([`check`]). Every run replays byte-identically
+//! from its seed.
+//!
+//! The coordinator itself is a durable single point in this iteration
+//! (it survives restarts, but the simulation does not crash it);
+//! replicating the coordinator is the next open item on the roadmap.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod coordinator;
+pub mod live;
+pub mod message;
+pub mod node;
+pub mod sim;
+pub mod transport;
+
+pub use check::GlobalChecker;
+pub use coordinator::{Coordinator, CoordinatorDurable};
+pub use live::{run_live, LiveReport};
+pub use message::{next_hop, Block, Envelope, Message, NodeId, Outgoing, COORDINATOR};
+pub use node::{Node, NodeDurable, ProtocolConfig};
+pub use sim::{run_sim, ClusterSimConfig, ClusterTrace, Mutation, SimReport, SimStats, TraceEvent};
+pub use transport::{ChannelTransport, Transport};

@@ -1,0 +1,249 @@
+//! The live-thread harness: the same state machines, a real
+//! [`ChannelTransport`], OS threads and wall-clock time.
+//!
+//! This is the integration seam the deterministic simulation cannot
+//! cover: actual concurrency, `mpsc` channels as the network,
+//! millisecond ticks as virtual time. The protocol config's tick values
+//! are interpreted as milliseconds here. The harness runs a full
+//! cluster lifetime — demand, drain, seal — and audits the result with
+//! the same [`GlobalChecker`] the simulation uses.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+use crate::check::GlobalChecker;
+use crate::coordinator::{Coordinator, CoordinatorDurable};
+use crate::message::{Envelope, NodeId, COORDINATOR};
+use crate::node::{Node, ProtocolConfig};
+use crate::transport::{ChannelTransport, Transport};
+
+/// The outcome of a [`run_live`] cluster lifetime.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// Values handed out (repeats included).
+    pub handed: u64,
+    /// Distinct values handed out.
+    pub unique: u64,
+    /// Hand-out counts per worker.
+    pub per_node: BTreeMap<NodeId, u64>,
+    /// Every violation caught (uniqueness, exact-range, liveness).
+    pub violations: Vec<String>,
+    /// The coordinator's final cursor.
+    pub cursor: u64,
+}
+
+/// Control messages the harness sends its worker threads.
+enum Ctl {
+    Demand(u64),
+    Drain,
+    Stop,
+}
+
+/// Upstream events worker threads report to the harness.
+enum Up {
+    Hand(NodeId, u64),
+    Sealed,
+}
+
+/// How long the harness waits for the drain to converge before calling
+/// it a liveness violation.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(20);
+
+/// Worker loop granularity.
+const LOOP_PAUSE: Duration = Duration::from_micros(500);
+
+fn now_ms(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+fn worker_loop(
+    mut node: Node,
+    start: Instant,
+    transport: ChannelTransport,
+    net_rx: &Receiver<Envelope>,
+    ctl_rx: &Receiver<Ctl>,
+    up_tx: &Sender<Up>,
+) {
+    let id = node.id();
+    let mut sealed_reported = false;
+    loop {
+        let now = now_ms(start);
+        while let Ok(env) = net_rx.try_recv() {
+            node.on_message(now, env);
+        }
+        while let Ok(ctl) = ctl_rx.try_recv() {
+            match ctl {
+                Ctl::Demand(n) => node.demand(now, n),
+                Ctl::Drain => node.begin_drain(now),
+                Ctl::Stop => return,
+            }
+        }
+        node.on_tick(now);
+        transport.send_all(node.take_outbox());
+        for value in node.take_handouts() {
+            let _ = up_tx.send(Up::Hand(id, value));
+        }
+        if node.is_sealed_acked() && !sealed_reported {
+            sealed_reported = true;
+            let _ = up_tx.send(Up::Sealed);
+        }
+        std::thread::sleep(LOOP_PAUSE);
+    }
+}
+
+fn coordinator_loop(
+    mut coordinator: Coordinator,
+    start: Instant,
+    transport: ChannelTransport,
+    net_rx: &Receiver<Envelope>,
+    ctl_rx: &Receiver<Ctl>,
+) -> CoordinatorDurable {
+    loop {
+        let now = now_ms(start);
+        while let Ok(env) = net_rx.try_recv() {
+            coordinator.on_message(now, env);
+        }
+        if let Ok(Ctl::Stop) = ctl_rx.try_recv() {
+            return coordinator.durable().clone();
+        }
+        coordinator.on_tick(now);
+        transport.send_all(coordinator.take_outbox());
+        std::thread::sleep(LOOP_PAUSE);
+    }
+}
+
+/// Runs one live cluster lifetime: `workers` nodes serve
+/// `demand_per_node` requests each over real threads and channels, then
+/// drain, seal, and face the global audit.
+#[must_use]
+pub fn run_live(workers: u64, demand_per_node: u64) -> LiveReport {
+    // Millisecond-scale timing: brisk heartbeats, a failure detector
+    // slack enough that a busy scheduler cannot fake a death.
+    let config = ProtocolConfig {
+        heartbeat_every: 20,
+        retry_after: 40,
+        fail_after: 2_000,
+        ..ProtocolConfig::default()
+    };
+    let start = Instant::now();
+    let ids: Vec<NodeId> = (1..=workers).collect();
+    let mut members = vec![COORDINATOR];
+    members.extend(&ids);
+
+    let mut transport = ChannelTransport::new();
+    let mut net_rxs: BTreeMap<NodeId, Receiver<Envelope>> = BTreeMap::new();
+    for &id in std::iter::once(&COORDINATOR).chain(&ids) {
+        let (tx, rx) = channel();
+        transport.register(id, tx);
+        net_rxs.insert(id, rx);
+    }
+    let (up_tx, up_rx) = channel();
+
+    let mut ctl_txs: BTreeMap<NodeId, Sender<Ctl>> = BTreeMap::new();
+    let mut handles = Vec::new();
+    let coordinator_handle = {
+        let coordinator = Coordinator::new(config, &ids);
+        let transport = transport.clone();
+        let net_rx = net_rxs.remove(&COORDINATOR).expect("registered above");
+        let (ctl_tx, ctl_rx) = channel();
+        ctl_txs.insert(COORDINATOR, ctl_tx);
+        std::thread::spawn(move || {
+            coordinator_loop(coordinator, start, transport, &net_rx, &ctl_rx)
+        })
+    };
+    for &id in &ids {
+        let node = Node::bootstrap(id, config, members.clone());
+        let transport = transport.clone();
+        let net_rx = net_rxs.remove(&id).expect("registered above");
+        let (ctl_tx, ctl_rx) = channel();
+        ctl_txs.insert(id, ctl_tx);
+        let up_tx = up_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            worker_loop(node, start, transport, &net_rx, &ctl_rx, &up_tx);
+        }));
+    }
+
+    // Demand in bursts, so every worker crosses several lease rounds.
+    let burst = (demand_per_node / 4).max(1);
+    let mut sent: BTreeMap<NodeId, u64> = ids.iter().map(|&id| (id, 0)).collect();
+    while sent.values().any(|&s| s < demand_per_node) {
+        for &id in &ids {
+            let remaining = demand_per_node - sent[&id];
+            if remaining > 0 {
+                let n = burst.min(remaining);
+                let _ = ctl_txs[&id].send(Ctl::Demand(n));
+                *sent.get_mut(&id).expect("seeded above") += n;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Drain and wait for every worker to seal.
+    for &id in &ids {
+        let _ = ctl_txs[&id].send(Ctl::Drain);
+    }
+    let mut checker = GlobalChecker::new();
+    let mut violations = Vec::new();
+    let mut per_node: BTreeMap<NodeId, u64> = BTreeMap::new();
+    let mut sealed = 0u64;
+    let deadline = Instant::now() + DRAIN_DEADLINE;
+    while sealed < workers && Instant::now() < deadline {
+        match up_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(Up::Hand(id, value)) => {
+                *per_node.entry(id).or_insert(0) += 1;
+                if let Some(violation) = checker.record(id, value, now_ms(start)) {
+                    violations.push(violation);
+                }
+            }
+            Ok(Up::Sealed) => sealed += 1,
+            Err(_) => {}
+        }
+    }
+    if sealed < workers {
+        violations.push(format!("liveness: live drain timed out with {sealed}/{workers} sealed"));
+    }
+
+    for tx in ctl_txs.values() {
+        let _ = tx.send(Ctl::Stop);
+    }
+    for handle in handles {
+        handle.join().expect("worker thread must not panic");
+    }
+    // Drain any hand-outs that raced the seal notifications.
+    while let Ok(up) = up_rx.try_recv() {
+        if let Up::Hand(id, value) = up {
+            *per_node.entry(id).or_insert(0) += 1;
+            if let Some(violation) = checker.record(id, value, now_ms(start)) {
+                violations.push(violation);
+            }
+        }
+    }
+    let coordinator = coordinator_handle.join().expect("coordinator thread must not panic");
+    if sealed == workers {
+        violations.extend(checker.finalize(&coordinator));
+    }
+
+    LiveReport {
+        handed: checker.handed(),
+        unique: checker.unique(),
+        per_node,
+        violations,
+        cursor: coordinator.cursor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_threads_hand_out_a_unique_exact_range() {
+        let report = run_live(3, 50);
+        assert_eq!(report.violations, Vec::<String>::new());
+        assert_eq!(report.handed, 150);
+        assert_eq!(report.unique, 150);
+        assert_eq!(report.per_node.values().sum::<u64>(), 150);
+        assert!(report.cursor >= 150, "every hand-out was allocated");
+    }
+}

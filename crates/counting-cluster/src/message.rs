@@ -1,0 +1,419 @@
+//! Wire messages, envelopes and tree routing.
+//!
+//! The protocol speaks ten message kinds over an unreliable network, so
+//! every kind is safe to drop, duplicate or reorder: requests carry
+//! per-node request ids the coordinator deduplicates on, acknowledgement
+//! kinds are idempotent, and membership carries an epoch that makes
+//! stale copies inert. [`Message`] implements the vendored `serde`
+//! traits by hand (the derive stub only covers named-field structs and
+//! unit enums), which is the wire-format seam a socket transport will
+//! use; the in-memory transports move the enum directly.
+
+use std::fmt;
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// A cluster participant id. The coordinator is always
+/// [`COORDINATOR`]; worker nodes use ids `>= 1`.
+pub type NodeId = u64;
+
+/// The coordinator's well-known id.
+pub const COORDINATOR: NodeId = 0;
+
+/// One contiguous run of global values, `base..base + len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// First value of the run.
+    pub base: u64,
+    /// Number of values in the run.
+    pub len: u64,
+}
+
+impl Block {
+    /// The first value past the run.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.base + self.len
+    }
+}
+
+/// A protocol message. See the [crate docs](crate) for the protocol;
+/// field conventions: `node` is the worker the message concerns,
+/// `req_id` a per-node monotonic request id, `epoch` a membership
+/// version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Worker → coordinator: lease `want` more values (retried with the
+    /// same `req_id` until answered; the coordinator deduplicates).
+    LeaseRequest {
+        /// Requesting worker.
+        node: NodeId,
+        /// Per-node monotonic request id.
+        req_id: u64,
+        /// Requested block length.
+        want: u64,
+    },
+    /// Coordinator → worker: the (deduplicated) answer to
+    /// `LeaseRequest { node, req_id, .. }`.
+    LeaseGrant {
+        /// Granted worker.
+        node: NodeId,
+        /// The request this grant answers.
+        req_id: u64,
+        /// First value of the granted block.
+        base: u64,
+        /// Length of the granted block.
+        len: u64,
+    },
+    /// Worker → coordinator after a restart: what happened to `req_id`?
+    /// Answered with the recorded grant, or tombstoned + `RecoverNone`.
+    RecoverQuery {
+        /// Recovering worker.
+        node: NodeId,
+        /// The in-doubt request id.
+        req_id: u64,
+    },
+    /// Coordinator → worker: `req_id` was never granted and — now
+    /// tombstoned — never will be; the worker may reuse fresh ids.
+    RecoverNone {
+        /// The worker whose request was tombstoned.
+        node: NodeId,
+        /// The tombstoned request id.
+        req_id: u64,
+    },
+    /// Worker → coordinator liveness signal (also re-admits a worker
+    /// the failure detector declared dead).
+    Heartbeat {
+        /// The living worker.
+        node: NodeId,
+        /// The worker's current membership view epoch.
+        epoch: u64,
+    },
+    /// A new worker asks to be admitted to the member list.
+    Join {
+        /// The joining worker.
+        node: NodeId,
+    },
+    /// Coordinator → workers (tree-propagated): the member list at
+    /// `epoch`. Stale epochs are ignored.
+    Membership {
+        /// Membership version.
+        epoch: u64,
+        /// All member ids (coordinator included), sorted.
+        members: Vec<NodeId>,
+    },
+    /// Worker → coordinator: acknowledges adoption of `epoch` (the
+    /// quorum signal that commits it).
+    MembershipAck {
+        /// Acknowledging worker.
+        node: NodeId,
+        /// The adopted epoch.
+        epoch: u64,
+    },
+    /// Worker → coordinator: the worker has consumed exactly
+    /// `watermark` values and returns everything beyond it (graceful
+    /// leave when `leaving`, end-of-run drain otherwise). Idempotent.
+    Return {
+        /// The sealing worker.
+        node: NodeId,
+        /// Total values the worker ever handed out.
+        watermark: u64,
+        /// Whether the worker is leaving the membership.
+        leaving: bool,
+    },
+    /// Coordinator → worker: `Return { watermark }` was processed.
+    ReturnAck {
+        /// The sealed worker.
+        node: NodeId,
+        /// The sealed watermark.
+        watermark: u64,
+    },
+}
+
+impl Message {
+    /// A short stable tag naming the message kind (used as the serde
+    /// discriminant and in traces).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::LeaseRequest { .. } => "lease-request",
+            Message::LeaseGrant { .. } => "lease-grant",
+            Message::RecoverQuery { .. } => "recover-query",
+            Message::RecoverNone { .. } => "recover-none",
+            Message::Heartbeat { .. } => "heartbeat",
+            Message::Join { .. } => "join",
+            Message::Membership { .. } => "membership",
+            Message::MembershipAck { .. } => "membership-ack",
+            Message::Return { .. } => "return",
+            Message::ReturnAck { .. } => "return-ack",
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::LeaseRequest { node, req_id, want } => {
+                write!(f, "lease-request n{node} r{req_id} want={want}")
+            }
+            Message::LeaseGrant { node, req_id, base, len } => {
+                write!(f, "lease-grant n{node} r{req_id} [{base}..{})", base + len)
+            }
+            Message::RecoverQuery { node, req_id } => write!(f, "recover-query n{node} r{req_id}"),
+            Message::RecoverNone { node, req_id } => write!(f, "recover-none n{node} r{req_id}"),
+            Message::Heartbeat { node, epoch } => write!(f, "heartbeat n{node} e{epoch}"),
+            Message::Join { node } => write!(f, "join n{node}"),
+            Message::Membership { epoch, members } => {
+                write!(f, "membership e{epoch} {members:?}")
+            }
+            Message::MembershipAck { node, epoch } => write!(f, "membership-ack n{node} e{epoch}"),
+            Message::Return { node, watermark, leaving } => {
+                write!(f, "return n{node} w{watermark} leaving={leaving}")
+            }
+            Message::ReturnAck { node, watermark } => write!(f, "return-ack n{node} w{watermark}"),
+        }
+    }
+}
+
+fn obj(kind: &str, fields: Vec<(String, Value)>) -> Value {
+    let mut entries = vec![("kind".to_owned(), Value::Str(kind.to_owned()))];
+    entries.extend(fields);
+    Value::Object(entries)
+}
+
+fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    let inner = value.get(name).ok_or_else(|| Error::custom(format!("missing field `{name}`")))?;
+    T::from_value(inner)
+}
+
+impl Serialize for Message {
+    fn to_value(&self) -> Value {
+        let kind = self.kind();
+        match self {
+            Message::LeaseRequest { node, req_id, want } => obj(
+                kind,
+                vec![
+                    ("node".into(), node.to_value()),
+                    ("req_id".into(), req_id.to_value()),
+                    ("want".into(), want.to_value()),
+                ],
+            ),
+            Message::LeaseGrant { node, req_id, base, len } => obj(
+                kind,
+                vec![
+                    ("node".into(), node.to_value()),
+                    ("req_id".into(), req_id.to_value()),
+                    ("base".into(), base.to_value()),
+                    ("len".into(), len.to_value()),
+                ],
+            ),
+            Message::RecoverQuery { node, req_id } | Message::RecoverNone { node, req_id } => obj(
+                kind,
+                vec![("node".into(), node.to_value()), ("req_id".into(), req_id.to_value())],
+            ),
+            Message::Heartbeat { node, epoch } | Message::MembershipAck { node, epoch } => obj(
+                kind,
+                vec![("node".into(), node.to_value()), ("epoch".into(), epoch.to_value())],
+            ),
+            Message::Join { node } => obj(kind, vec![("node".into(), node.to_value())]),
+            Message::Membership { epoch, members } => obj(
+                kind,
+                vec![("epoch".into(), epoch.to_value()), ("members".into(), members.to_value())],
+            ),
+            Message::Return { node, watermark, leaving } => obj(
+                kind,
+                vec![
+                    ("node".into(), node.to_value()),
+                    ("watermark".into(), watermark.to_value()),
+                    ("leaving".into(), leaving.to_value()),
+                ],
+            ),
+            Message::ReturnAck { node, watermark } => obj(
+                kind,
+                vec![("node".into(), node.to_value()), ("watermark".into(), watermark.to_value())],
+            ),
+        }
+    }
+}
+
+impl Deserialize for Message {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let kind: String = field(value, "kind")?;
+        match kind.as_str() {
+            "lease-request" => Ok(Message::LeaseRequest {
+                node: field(value, "node")?,
+                req_id: field(value, "req_id")?,
+                want: field(value, "want")?,
+            }),
+            "lease-grant" => Ok(Message::LeaseGrant {
+                node: field(value, "node")?,
+                req_id: field(value, "req_id")?,
+                base: field(value, "base")?,
+                len: field(value, "len")?,
+            }),
+            "recover-query" => Ok(Message::RecoverQuery {
+                node: field(value, "node")?,
+                req_id: field(value, "req_id")?,
+            }),
+            "recover-none" => Ok(Message::RecoverNone {
+                node: field(value, "node")?,
+                req_id: field(value, "req_id")?,
+            }),
+            "heartbeat" => Ok(Message::Heartbeat {
+                node: field(value, "node")?,
+                epoch: field(value, "epoch")?,
+            }),
+            "join" => Ok(Message::Join { node: field(value, "node")? }),
+            "membership" => Ok(Message::Membership {
+                epoch: field(value, "epoch")?,
+                members: field(value, "members")?,
+            }),
+            "membership-ack" => Ok(Message::MembershipAck {
+                node: field(value, "node")?,
+                epoch: field(value, "epoch")?,
+            }),
+            "return" => Ok(Message::Return {
+                node: field(value, "node")?,
+                watermark: field(value, "watermark")?,
+                leaving: field(value, "leaving")?,
+            }),
+            "return-ack" => Ok(Message::ReturnAck {
+                node: field(value, "node")?,
+                watermark: field(value, "watermark")?,
+            }),
+            other => Err(Error::custom(format!("unknown message kind `{other}`"))),
+        }
+    }
+}
+
+/// A routed message: original sender, final destination, payload.
+/// Relays forward the envelope unchanged; only the hop changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Original sender.
+    pub src: NodeId,
+    /// Final destination.
+    pub dst: NodeId,
+    /// The payload.
+    pub msg: Message,
+}
+
+/// One send decided by a state machine: deliver `env` to `hop` next
+/// (the hop equals `env.dst` for direct sends, or the next tree edge
+/// for routed ones).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing {
+    /// The next recipient.
+    pub hop: NodeId,
+    /// The envelope in flight.
+    pub env: Envelope,
+}
+
+/// The next hop from `from` toward `dst` along the heap-shaped tree
+/// over `members` (sorted member ids; position `i`'s parent is
+/// `(i - 1) / 2`, so the coordinator — the smallest id — is the root).
+///
+/// Returns `None` when either endpoint is missing from the member list
+/// (callers then fall back to a direct send).
+#[must_use]
+pub fn next_hop(members: &[NodeId], from: NodeId, dst: NodeId) -> Option<NodeId> {
+    let pos = |id: NodeId| members.iter().position(|&m| m == id);
+    let from_pos = pos(from)?;
+    let dst_pos = pos(dst)?;
+    if from_pos == dst_pos {
+        return Some(dst);
+    }
+    // Walk the destination up toward the root: if it passes through
+    // `from`, the child we arrived from is the downward hop.
+    let mut cur = dst_pos;
+    while cur != 0 {
+        let parent = (cur - 1) / 2;
+        if parent == from_pos {
+            return Some(members[cur]);
+        }
+        cur = parent;
+    }
+    // Not in our subtree: route up (the root's subtree is everything,
+    // so `from` has a parent here).
+    if from_pos == 0 {
+        None
+    } else {
+        Some(members[(from_pos - 1) / 2])
+    }
+}
+
+/// The tree children of `id` in the heap-shaped tree over `members` —
+/// the fan-out set for membership propagation.
+#[must_use]
+pub fn tree_children(members: &[NodeId], id: NodeId) -> Vec<NodeId> {
+    let Some(pos) = members.iter().position(|&m| m == id) else {
+        return Vec::new();
+    };
+    [2 * pos + 1, 2 * pos + 2].iter().filter_map(|&c| members.get(c).copied()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_kind_round_trips_through_serde() {
+        let messages = vec![
+            Message::LeaseRequest { node: 3, req_id: 7, want: 16 },
+            Message::LeaseGrant { node: 3, req_id: 7, base: 128, len: 16 },
+            Message::RecoverQuery { node: 2, req_id: 1 },
+            Message::RecoverNone { node: 2, req_id: 1 },
+            Message::Heartbeat { node: 5, epoch: 4 },
+            Message::Join { node: 9 },
+            Message::Membership { epoch: 4, members: vec![0, 1, 2, 5, 9] },
+            Message::MembershipAck { node: 5, epoch: 4 },
+            Message::Return { node: 2, watermark: 99, leaving: true },
+            Message::ReturnAck { node: 2, watermark: 99 },
+        ];
+        for msg in messages {
+            let round = Message::from_value(&msg.to_value()).expect("round trip");
+            assert_eq!(round, msg);
+            assert!(!msg.kind().is_empty());
+            assert!(!format!("{msg}").is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let bad = Value::Object(vec![("kind".to_owned(), Value::Str("nope".to_owned()))]);
+        assert!(Message::from_value(&bad).is_err());
+        assert!(Message::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn tree_routes_up_and_down() {
+        //        0
+        //      /   \
+        //     1     2
+        //    / \   /
+        //   3   5 8
+        let members = [0, 1, 2, 3, 5, 8];
+        // Leaf to root: strictly up the parent chain.
+        assert_eq!(next_hop(&members, 8, 0), Some(2));
+        assert_eq!(next_hop(&members, 2, 0), Some(0));
+        // Root to leaf: down the ancestor chain.
+        assert_eq!(next_hop(&members, 0, 3), Some(1));
+        assert_eq!(next_hop(&members, 1, 3), Some(3));
+        // Cross-subtree: up first.
+        assert_eq!(next_hop(&members, 3, 8), Some(1));
+        // Unknown endpoint: no route.
+        assert_eq!(next_hop(&members, 3, 77), None);
+        assert_eq!(next_hop(&[], 0, 1), None);
+        // Children sets drive membership fan-out.
+        assert_eq!(tree_children(&members, 0), vec![1, 2]);
+        assert_eq!(tree_children(&members, 1), vec![3, 5]);
+        assert_eq!(tree_children(&members, 2), vec![8]);
+        assert_eq!(tree_children(&members, 5), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn block_end_is_exclusive() {
+        let b = Block { base: 10, len: 4 };
+        assert_eq!(b.end(), 14);
+    }
+}

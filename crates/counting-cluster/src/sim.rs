@@ -1,0 +1,557 @@
+//! The deterministic fault-injecting cluster simulation.
+//!
+//! [`run_sim`] is a pure function of `(config, seed)`: the demand
+//! schedule, churn plan (crashes, restarts, joins, leaves) and every
+//! per-hop fault decision (drop / duplicate / delay / reorder) derive
+//! from forked [`SimRng`] streams, and events resolve through a
+//! [`counting_sim::des::EventQueue`] keyed by `(tick, insertion seq)` —
+//! so two runs with the same seed produce byte-identical traces, and any
+//! counterexample replays exactly. All cross-node state lives in
+//! `BTreeMap`s ordered by node id; nothing iterates a hash map.
+//!
+//! A run has two phases: the **torture window** (`0..horizon` ticks)
+//! where demand flows and the fault plan applies to every hop, and the
+//! **drain** where faults stop, crashed nodes finish restarting, every
+//! node seals its stream, and the [`GlobalChecker`] audits the exact
+//! range. Faults apply per hop, so tree-relayed messages cross the
+//! faulty network once per edge.
+//!
+//! [`Mutation`] carries the calibration bugs that prove the checker has
+//! teeth (the discipline `counting-sim`'s model checker established):
+//! each one is a plausible implementation mistake whose injection must
+//! produce a caught violation.
+
+use serde::{Deserialize, Serialize};
+
+use counting_sim::des::{EventQueue, FaultPlan, SimRng};
+
+use crate::check::GlobalChecker;
+use crate::coordinator::Coordinator;
+use crate::message::{Envelope, NodeId, Outgoing, COORDINATOR};
+use crate::node::{Node, NodeDurable, ProtocolConfig};
+
+/// A deliberately-injected protocol bug, used to calibrate the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// A restarted node skips replaying its durable watermark into the
+    /// local registry, so its stream restarts at zero and re-hands old
+    /// values — caught online as a uniqueness violation.
+    SkipRecovery,
+    /// The coordinator forgets grant deduplication: a duplicated or
+    /// retried request allocates a second block and the first grant
+    /// record leaks — caught at quiescence as an exact-range gap (or a
+    /// grant/hand-out mismatch when the first block was partly
+    /// consumed).
+    GrantNoDedup,
+}
+
+impl Mutation {
+    /// The stable flag string naming this mutation on the `exp_cluster`
+    /// command line.
+    #[must_use]
+    pub fn flag(self) -> &'static str {
+        match self {
+            Mutation::SkipRecovery => "skip-recovery",
+            Mutation::GrantNoDedup => "grant-no-dedup",
+        }
+    }
+
+    /// Parses [`Self::flag`].
+    #[must_use]
+    pub fn parse(flag: &str) -> Option<Self> {
+        match flag {
+            "skip-recovery" => Some(Mutation::SkipRecovery),
+            "grant-no-dedup" => Some(Mutation::GrantNoDedup),
+            _ => None,
+        }
+    }
+}
+
+/// One simulation cell: cluster size, load, fault plan, churn plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSimConfig {
+    /// Founding worker count (ids `1..=workers`).
+    pub workers: u64,
+    /// Demand events per worker over the torture window.
+    pub demand_per_node: u64,
+    /// Torture-window length in virtual ticks.
+    pub horizon: u64,
+    /// The per-hop fault plan during the torture window.
+    pub fault: FaultPlan,
+    /// Crash events scheduled (each with a deterministic restart).
+    pub crashes: u64,
+    /// Workers joining mid-run (ids `workers+1..`).
+    pub joins: u64,
+    /// Graceful leaves scheduled mid-run.
+    pub leaves: u64,
+    /// Protocol timing/sizing.
+    pub protocol: ProtocolConfig,
+    /// The injected calibration bug, if any.
+    pub mutation: Option<Mutation>,
+    /// Hard event cap — exceeding it is reported as a liveness
+    /// violation instead of hanging.
+    pub max_events: u64,
+    /// Record the full event trace (byte-identical per seed).
+    pub record_trace: bool,
+}
+
+impl Default for ClusterSimConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            demand_per_node: 200,
+            horizon: 8_000,
+            fault: FaultPlan { drop_per_mille: 50, dup_per_mille: 30, min_delay: 1, max_delay: 20 },
+            crashes: 2,
+            joins: 1,
+            leaves: 1,
+            protocol: ProtocolConfig::default(),
+            mutation: None,
+            max_events: 2_000_000,
+            record_trace: false,
+        }
+    }
+}
+
+/// One recorded simulation event (flat named fields — the shape the
+/// vendored serde derive supports).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual tick.
+    pub at: u64,
+    /// Deterministic sequence number within the run.
+    pub seq: u64,
+    /// Event kind (`send`, `drop`, `dup`, `deliver`, `lost`, `handout`,
+    /// `crash`, `restart`, `join`, `leave`, `drain`, `violation`).
+    pub kind: String,
+    /// The node the event concerns.
+    pub node: u64,
+    /// Kind-specific detail (message rendering, value, violation text).
+    pub info: String,
+}
+
+/// A replayable event trace: the seed plus everything that happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterTrace {
+    /// The seed the run derives from.
+    pub seed: u64,
+    /// All recorded events in deterministic order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Aggregate run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Hops attempted (per-edge sends, relays included).
+    pub sent: u64,
+    /// Hops delivered.
+    pub delivered: u64,
+    /// Hops dropped by the fault plan.
+    pub dropped: u64,
+    /// Hops duplicated by the fault plan.
+    pub duplicated: u64,
+    /// Hops addressed to a crashed node (lost on arrival).
+    pub lost: u64,
+    /// Values handed out (repeats included).
+    pub handed: u64,
+    /// Crash events that fired.
+    pub crashes: u64,
+    /// Restart events that fired.
+    pub restarts: u64,
+    /// Join events that fired.
+    pub joins: u64,
+    /// Leave events that fired.
+    pub leaves: u64,
+    /// Demand events skipped because the target was down or sealed.
+    pub demand_skipped: u64,
+    /// Total events processed.
+    pub events: u64,
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// The seed the run derives from.
+    pub seed: u64,
+    /// Values handed out (repeats included).
+    pub handed: u64,
+    /// Distinct values handed out.
+    pub unique: u64,
+    /// Every violation caught (uniqueness, exact-range, liveness).
+    pub violations: Vec<String>,
+    /// Whether every worker sealed and was acknowledged before the
+    /// event cap.
+    pub converged: bool,
+    /// The coordinator's final cursor (values ever allocated).
+    pub cursor: u64,
+    /// Values sitting in the final free-list.
+    pub free_total: u64,
+    /// The tick the run ended at.
+    pub final_tick: u64,
+    /// Aggregate statistics.
+    pub stats: SimStats,
+    /// The recorded trace, when [`ClusterSimConfig::record_trace`].
+    pub trace: Option<ClusterTrace>,
+}
+
+/// A scheduled simulation event.
+enum Ev {
+    Tick,
+    Deliver { hop: NodeId, env: Envelope },
+    Demand { node: NodeId },
+    Crash { node: NodeId },
+    Restart { node: NodeId },
+    Join { node: NodeId },
+    Leave { node: NodeId },
+    Drain,
+}
+
+/// A worker slot: up (running state machine) or down (durable state
+/// waiting for its restart).
+enum Slot {
+    Up(Box<Node>),
+    Down(NodeDurable),
+}
+
+/// Global tick granularity: every state machine sees time advance in
+/// steps of this many virtual ticks.
+const TICK_EVERY: u64 = 5;
+
+struct Harness {
+    config: ClusterSimConfig,
+    coordinator: Coordinator,
+    slots: std::collections::BTreeMap<NodeId, Slot>,
+    left: std::collections::BTreeSet<NodeId>,
+    queue: EventQueue<Ev>,
+    fault_rng: SimRng,
+    active_fault: FaultPlan,
+    checker: GlobalChecker,
+    violations: Vec<String>,
+    stats: SimStats,
+    trace: Vec<TraceEvent>,
+    trace_seq: u64,
+    draining: bool,
+}
+
+impl Harness {
+    fn record(&mut self, at: u64, kind: &str, node: u64, info: String) {
+        if !self.config.record_trace {
+            return;
+        }
+        let seq = self.trace_seq;
+        self.trace_seq += 1;
+        self.trace.push(TraceEvent { at, seq, kind: kind.to_owned(), node, info });
+    }
+
+    /// Routes one outgoing hop through the fault plan.
+    fn transmit(&mut self, now: u64, out: Outgoing) {
+        self.stats.sent += 1;
+        self.record(now, "send", out.env.src, format!("hop n{}: {}", out.hop, out.env.msg));
+        let delays = self.active_fault.decide(&mut self.fault_rng);
+        match delays.len() {
+            0 => {
+                self.stats.dropped += 1;
+                self.record(now, "drop", out.env.src, format!("hop n{}: {}", out.hop, out.env.msg));
+                return;
+            }
+            2 => {
+                self.stats.duplicated += 1;
+                self.record(now, "dup", out.env.src, format!("hop n{}: {}", out.hop, out.env.msg));
+            }
+            _ => {}
+        }
+        for delay in delays {
+            self.queue.push(now + delay.max(1), Ev::Deliver { hop: out.hop, env: out.env.clone() });
+        }
+    }
+
+    /// Flushes a worker's outbox and hand-outs after it ran.
+    fn flush_node(&mut self, now: u64, id: NodeId) {
+        let Some(Slot::Up(node)) = self.slots.get_mut(&id) else {
+            return;
+        };
+        let outgoing = node.take_outbox();
+        let handouts = node.take_handouts();
+        for value in handouts {
+            self.stats.handed += 1;
+            self.record(now, "handout", id, format!("{value}"));
+            if let Some(violation) = self.checker.record(id, value, now) {
+                self.record(now, "violation", id, violation.clone());
+                self.violations.push(violation);
+            }
+        }
+        for out in outgoing {
+            self.transmit(now, out);
+        }
+    }
+
+    fn flush_coordinator(&mut self, now: u64) {
+        for out in self.coordinator.take_outbox() {
+            self.transmit(now, out);
+        }
+    }
+
+    /// Every worker (founders, joiners, leavers) is up and
+    /// sealed-acknowledged.
+    fn done(&self) -> bool {
+        self.draining
+            && self.slots.values().all(|slot| match slot {
+                Slot::Up(node) => node.is_sealed_acked(),
+                Slot::Down(_) => false,
+            })
+    }
+}
+
+/// Runs one simulated cluster lifetime. See the [module docs](self).
+#[must_use]
+pub fn run_sim(config: &ClusterSimConfig, seed: u64) -> SimReport {
+    let config = *config;
+    let root = SimRng::new(seed);
+    let mut plan_rng = root.fork(1);
+    let fault_rng = root.fork(2);
+
+    let founders: Vec<NodeId> = (1..=config.workers).collect();
+    let mut member_bootstrap = vec![COORDINATOR];
+    member_bootstrap.extend(&founders);
+
+    let mut coordinator = Coordinator::new(config.protocol, &founders);
+    if config.mutation == Some(Mutation::GrantNoDedup) {
+        coordinator.enable_grant_no_dedup();
+    }
+
+    let mut slots = std::collections::BTreeMap::new();
+    for &id in &founders {
+        let node = Node::bootstrap(id, config.protocol, member_bootstrap.clone());
+        slots.insert(id, Slot::Up(Box::new(node)));
+    }
+
+    let mut queue = EventQueue::new();
+    queue.push(0, Ev::Tick);
+    queue.push(config.horizon, Ev::Drain);
+
+    // Demand plan: founders draw over the whole window, joiners from
+    // their join time on.
+    let horizon = config.horizon.max(1);
+    for &id in &founders {
+        for _ in 0..config.demand_per_node {
+            queue.push(plan_rng.below(horizon), Ev::Demand { node: id });
+        }
+    }
+    for j in 0..config.joins {
+        let id = config.workers + 1 + j;
+        let join_at = plan_rng.range(horizon / 5, horizon / 2);
+        queue.push(join_at, Ev::Join { node: id });
+        for _ in 0..config.demand_per_node {
+            queue.push(plan_rng.range(join_at, horizon), Ev::Demand { node: id });
+        }
+    }
+    // Churn plan: each crash gets its deterministic restart; leaves hit
+    // founders (fire-time checks skip targets that are down or gone).
+    for _ in 0..config.crashes {
+        if config.workers == 0 {
+            break;
+        }
+        let node = 1 + plan_rng.below(config.workers);
+        let at = plan_rng.range(horizon / 10, (horizon * 4) / 5);
+        let down_for = plan_rng.range(config.protocol.fail_after, config.protocol.fail_after * 3);
+        queue.push(at, Ev::Crash { node });
+        queue.push(at + down_for, Ev::Restart { node });
+    }
+    for _ in 0..config.leaves {
+        if config.workers == 0 {
+            break;
+        }
+        let node = 1 + plan_rng.below(config.workers);
+        let at = plan_rng.range(horizon / 4, (horizon * 3) / 4);
+        queue.push(at, Ev::Leave { node });
+    }
+
+    let mut harness = Harness {
+        config,
+        coordinator,
+        slots,
+        left: std::collections::BTreeSet::new(),
+        queue,
+        fault_rng,
+        active_fault: config.fault,
+        checker: GlobalChecker::new(),
+        violations: Vec::new(),
+        stats: SimStats::default(),
+        trace: Vec::new(),
+        trace_seq: 0,
+        draining: false,
+    };
+    harness.flush_coordinator(0);
+
+    let mut capped = false;
+    while let Some((now, _, ev)) = harness.queue.pop() {
+        harness.stats.events += 1;
+        if harness.stats.events > config.max_events {
+            capped = true;
+            break;
+        }
+        match ev {
+            Ev::Tick => {
+                harness.coordinator.on_tick(now);
+                harness.flush_coordinator(now);
+                let ids: Vec<NodeId> = harness.slots.keys().copied().collect();
+                for id in ids {
+                    if let Some(Slot::Up(node)) = harness.slots.get_mut(&id) {
+                        node.on_tick(now);
+                    }
+                    harness.flush_node(now, id);
+                }
+                if !harness.done() {
+                    harness.queue.push(now + TICK_EVERY, Ev::Tick);
+                }
+            }
+            Ev::Deliver { hop, env } => {
+                if hop == COORDINATOR {
+                    harness.stats.delivered += 1;
+                    harness.record(now, "deliver", hop, format!("{}", env.msg));
+                    harness.coordinator.on_message(now, env);
+                    harness.flush_coordinator(now);
+                } else if matches!(harness.slots.get(&hop), Some(Slot::Up(_))) {
+                    harness.stats.delivered += 1;
+                    harness.record(now, "deliver", hop, format!("{}", env.msg));
+                    if let Some(Slot::Up(node)) = harness.slots.get_mut(&hop) {
+                        node.on_message(now, env);
+                    }
+                    harness.flush_node(now, hop);
+                } else {
+                    harness.stats.lost += 1;
+                    harness.record(now, "lost", hop, format!("{}", env.msg));
+                }
+            }
+            Ev::Demand { node } => {
+                let servable = matches!(harness.slots.get(&node), Some(Slot::Up(_)))
+                    && !harness.left.contains(&node)
+                    && !harness.draining;
+                if servable {
+                    if let Some(Slot::Up(n)) = harness.slots.get_mut(&node) {
+                        n.demand(now, 1);
+                    }
+                    harness.flush_node(now, node);
+                } else {
+                    harness.stats.demand_skipped += 1;
+                }
+            }
+            Ev::Crash { node } => {
+                let crashed = match harness.slots.get(&node) {
+                    Some(Slot::Up(n)) if !harness.left.contains(&node) => Some(n.durable().clone()),
+                    _ => None,
+                };
+                if let Some(durable) = crashed {
+                    harness.slots.insert(node, Slot::Down(durable));
+                    harness.stats.crashes += 1;
+                    harness.record(now, "crash", node, String::new());
+                }
+            }
+            Ev::Restart { node } => {
+                let durable = match harness.slots.get(&node) {
+                    Some(Slot::Down(d)) => Some(d.clone()),
+                    _ => None,
+                };
+                if let Some(durable) = durable {
+                    let recover = config.mutation != Some(Mutation::SkipRecovery);
+                    let mut revived = Node::restart(durable, config.protocol, recover);
+                    if harness.draining {
+                        revived.begin_drain(now);
+                    }
+                    harness.slots.insert(node, Slot::Up(Box::new(revived)));
+                    harness.stats.restarts += 1;
+                    harness.record(now, "restart", node, String::new());
+                    harness.flush_node(now, node);
+                }
+            }
+            Ev::Join { node } => {
+                if let std::collections::btree_map::Entry::Vacant(slot) = harness.slots.entry(node)
+                {
+                    slot.insert(Slot::Up(Box::new(Node::fresh(node, config.protocol))));
+                    harness.stats.joins += 1;
+                    harness.record(now, "join", node, String::new());
+                }
+            }
+            Ev::Leave { node } => {
+                let eligible = match harness.slots.get(&node) {
+                    Some(Slot::Up(n)) => {
+                        !harness.left.contains(&node)
+                            && n.is_joined()
+                            && !harness.draining
+                            && !n.durable().sealed
+                    }
+                    _ => false,
+                };
+                if eligible {
+                    if let Some(Slot::Up(n)) = harness.slots.get_mut(&node) {
+                        n.begin_leave(now);
+                    }
+                    harness.left.insert(node);
+                    harness.stats.leaves += 1;
+                    harness.record(now, "leave", node, String::new());
+                    harness.flush_node(now, node);
+                }
+            }
+            Ev::Drain => {
+                harness.draining = true;
+                // Faults off: the drain must converge.
+                harness.active_fault = FaultPlan::reliable(1);
+                harness.record(now, "drain", COORDINATOR, String::new());
+                let ids: Vec<NodeId> = harness.slots.keys().copied().collect();
+                for id in ids {
+                    if let Some(Slot::Up(node)) = harness.slots.get_mut(&id) {
+                        node.begin_drain(now);
+                    }
+                    harness.flush_node(now, id);
+                }
+            }
+        }
+        if harness.done() {
+            break;
+        }
+    }
+
+    let converged = harness.done();
+    if !converged {
+        let stuck: Vec<String> = harness
+            .slots
+            .iter()
+            .filter_map(|(id, slot)| match slot {
+                Slot::Up(node) if !node.is_sealed_acked() => Some(format!("n{id} unsealed")),
+                Slot::Down(_) => Some(format!("n{id} down")),
+                Slot::Up(_) => None,
+            })
+            .collect();
+        let why = if capped { "event cap hit" } else { "event queue ran dry" };
+        harness
+            .violations
+            .push(format!("liveness: {why} before drain converged ({})", stuck.join(", ")));
+    } else {
+        let mut audit = harness.checker.finalize(harness.coordinator.durable());
+        for violation in &audit {
+            harness.record(harness.queue.now(), "violation", COORDINATOR, violation.clone());
+        }
+        harness.violations.append(&mut audit);
+    }
+
+    let (cursor, free_total) = {
+        let durable = harness.coordinator.durable();
+        (durable.cursor, durable.free.iter().map(|b| b.len).sum())
+    };
+    SimReport {
+        seed,
+        handed: harness.checker.handed(),
+        unique: harness.checker.unique(),
+        converged,
+        cursor,
+        free_total,
+        final_tick: harness.queue.now(),
+        violations: harness.violations,
+        stats: harness.stats,
+        trace: if config.record_trace {
+            Some(ClusterTrace { seed, events: harness.trace })
+        } else {
+            None
+        },
+    }
+}

@@ -512,6 +512,29 @@ impl CounterService {
         }
     }
 
+    /// Seeds the recorded watermark for `tenant`, as if an earlier
+    /// instance had been evicted at that mark: the next
+    /// [`Self::get_or_create`] resumes the stream there.
+    ///
+    /// This is the durable-restart seam used by `counting-cluster`: a
+    /// node that crashes and comes back rebuilds a *fresh* registry and
+    /// replays its persisted watermarks through this method, recovering
+    /// each tenant's stream exactly the way eviction-resume recovers it
+    /// within one process lifetime. Restoration is monotonic (the larger
+    /// of the stored and offered marks wins), so replaying stale
+    /// recovery records can never rewind a stream. Returns `false`
+    /// without changing anything if the tenant is currently live — a
+    /// live stream's watermark is owned by its counter, not the caller.
+    pub fn restore_watermark(&self, tenant: &str, watermark: u64) -> bool {
+        let mut state = self.shard_of(tenant).write();
+        if state.live.contains_key(tenant) {
+            return false;
+        }
+        let entry = state.watermarks.entry(tenant.to_owned()).or_insert(0);
+        *entry = (*entry).max(watermark);
+        true
+    }
+
     /// A per-thread [`IdGenerator`] leasing `lease_size` ids per refill
     /// from the tenant's counter (created on first touch). The generator
     /// holds a tenant handle, so the tenant stays live — and its leased
@@ -672,6 +695,29 @@ mod tests {
     fn watermark_is_zero_for_unknown_tenants() {
         let service = network_service(false);
         assert_eq!(service.watermark("never-seen"), 0);
+    }
+
+    #[test]
+    fn restore_watermark_resumes_like_an_eviction() {
+        // A "restarted process": fresh registry, watermark replayed from
+        // durable state instead of recorded by an eviction.
+        let service = network_service(false);
+        assert!(service.restore_watermark("stream", 7));
+        assert_eq!(service.watermark("stream"), 7);
+        let revived = service.get_or_create("stream");
+        assert_eq!(revived.base(), 7);
+        assert_eq!(revived.next(0), 7, "the stream resumes past the restart");
+
+        // Monotonic: a stale (lower) recovery record cannot rewind.
+        drop(revived);
+        assert_eq!(service.try_evict("stream"), EvictOutcome::Evicted { watermark: 8 });
+        assert!(service.restore_watermark("stream", 3));
+        assert_eq!(service.watermark("stream"), 8);
+
+        // A live tenant owns its own watermark — restoration refuses.
+        let live = service.get_or_create("stream");
+        assert!(!service.restore_watermark("stream", 100));
+        assert_eq!(live.base(), 8);
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Deterministic discrete-event simulation kernel with message-fault
+//! injection.
+//!
+//! The interleaving checker ([`crate::model`]) explores *shared-memory*
+//! schedules exhaustively; this module is its message-passing sibling
+//! for the distributed layer: a seeded, fully deterministic event queue
+//! plus a per-message fault plan (drop / duplicate / delay, and —
+//! through randomized delays — reordering). Everything a run does
+//! derives from its seed, so any counterexample found by a checker
+//! driving this kernel replays exactly from `(config, seed)`.
+//!
+//! The kernel is deliberately generic: it schedules opaque events `E`
+//! keyed by `(virtual time, insertion sequence)` — the sequence number
+//! breaks timestamp ties deterministically, which is what makes two
+//! runs of the same seed byte-identical even when many events land on
+//! the same tick. The cluster harness in `counting-cluster` wires its
+//! node state machines, churn plan and invariant checker on top.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic xorshift64* generator — the kernel's only source of
+/// randomness, so a run is a pure function of its seed.
+#[derive(Debug, Clone)]
+pub struct SimRng(u64);
+
+impl SimRng {
+    /// Creates a generator from `seed` (a zero seed is remapped — the
+    /// xorshift state must never be zero).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform draw in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// A uniform draw in `min..=max` (saturating to `min` when the
+    /// bounds cross).
+    pub fn range(&mut self, min: u64, max: u64) -> u64 {
+        if max <= min {
+            min
+        } else {
+            min + self.below(max - min + 1)
+        }
+    }
+
+    /// `true` with probability `per_mille / 1000`.
+    pub fn chance(&mut self, per_mille: u32) -> bool {
+        self.below(1000) < u64::from(per_mille)
+    }
+
+    /// Derives an independent sub-stream keyed by `salt` — used to give
+    /// each concern (faults, churn, demand) its own stream so adding
+    /// draws to one cannot perturb another.
+    #[must_use]
+    pub fn fork(&self, salt: u64) -> Self {
+        let mut child = Self::new(self.0 ^ salt.wrapping_mul(0xA076_1D64_78BD_642F));
+        // One warm-up draw decorrelates forks with nearby salts.
+        let _ = child.next_u64();
+        child
+    }
+}
+
+/// Per-message fault probabilities and delay bounds. Probabilities are
+/// integer per-mille, so fault decisions never depend on float
+/// comparisons and serialize exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability (‰) that a message is silently dropped.
+    pub drop_per_mille: u32,
+    /// Probability (‰) that a delivered message is delivered twice (the
+    /// duplicate draws its own delay, so the copies reorder freely).
+    pub dup_per_mille: u32,
+    /// Minimum delivery latency, in virtual ticks.
+    pub min_delay: u64,
+    /// Maximum delivery latency, in virtual ticks. Randomized latency in
+    /// `min_delay..=max_delay` is what reorders concurrent messages.
+    pub max_delay: u64,
+}
+
+impl FaultPlan {
+    /// A fault-free plan delivering everything after `latency` ticks.
+    #[must_use]
+    pub fn reliable(latency: u64) -> Self {
+        Self { drop_per_mille: 0, dup_per_mille: 0, min_delay: latency, max_delay: latency }
+    }
+
+    /// `true` when the plan can drop, duplicate or reorder.
+    #[must_use]
+    pub fn is_faulty(&self) -> bool {
+        self.drop_per_mille > 0 || self.dup_per_mille > 0 || self.min_delay != self.max_delay
+    }
+
+    /// Decides the fate of one message: the list of delivery delays
+    /// (empty = dropped, one entry = delivered, two = duplicated). The
+    /// draw order is fixed — drop, then duplicate, then one delay per
+    /// copy — so a decision stream is stable for a given RNG state.
+    pub fn decide(&self, rng: &mut SimRng) -> Vec<u64> {
+        if rng.chance(self.drop_per_mille) {
+            return Vec::new();
+        }
+        let copies = if rng.chance(self.dup_per_mille) { 2 } else { 1 };
+        (0..copies).map(|_| rng.range(self.min_delay, self.max_delay)).collect()
+    }
+}
+
+/// One scheduled entry: ordering key only — the payload never
+/// participates in comparisons, so `E` needs no `Ord`.
+#[derive(Debug)]
+struct Entry<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, the queue pops the
+        // earliest (time, seq) first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue: events pop in `(time, insertion
+/// sequence)` order, so same-tick events resolve in the order they were
+/// scheduled — never by allocation address or hash order.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: std::collections::BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at virtual time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { heap: std::collections::BinaryHeap::new(), next_seq: 0, now: 0 }
+    }
+
+    /// The virtual time of the most recently popped event.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute virtual time `at` (clamped forward
+    /// to `now` — the past is immutable) and returns its sequence
+    /// number.
+    pub fn push(&mut self, at: u64, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at: at.max(self.now), seq, event });
+        seq
+    }
+
+    /// Pops the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(u64, u64, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.seq, entry.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_fork_is_independent() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        let draws_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let draws_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(draws_a, draws_b);
+
+        let mut fork1 = SimRng::new(42).fork(1);
+        let mut fork2 = SimRng::new(42).fork(2);
+        assert_ne!(fork1.next_u64(), fork2.next_u64(), "forks draw distinct streams");
+        assert_ne!(SimRng::new(0).next_u64(), 0, "zero seed is remapped");
+    }
+
+    #[test]
+    fn range_and_chance_respect_bounds() {
+        let mut rng = SimRng::new(7);
+        for _ in 0..200 {
+            let v = rng.range(3, 9);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(rng.range(5, 5), 5);
+        assert_eq!(rng.range(9, 3), 9, "crossed bounds saturate to min");
+        for _ in 0..100 {
+            assert!(!rng.chance(0), "0\u{2030} never fires");
+            assert!(rng.chance(1000), "1000\u{2030} always fires");
+        }
+    }
+
+    #[test]
+    fn fault_plan_decides_drop_dup_and_delay() {
+        let mut rng = SimRng::new(11);
+        let reliable = FaultPlan::reliable(4);
+        assert!(!reliable.is_faulty());
+        for _ in 0..50 {
+            assert_eq!(reliable.decide(&mut rng), vec![4]);
+        }
+
+        let always_drop = FaultPlan { drop_per_mille: 1000, ..FaultPlan::reliable(1) };
+        assert!(always_drop.decide(&mut rng).is_empty());
+
+        let always_dup =
+            FaultPlan { dup_per_mille: 1000, min_delay: 1, max_delay: 6, drop_per_mille: 0 };
+        assert!(always_dup.is_faulty());
+        let delays = always_dup.decide(&mut rng);
+        assert_eq!(delays.len(), 2, "duplicated message delivers twice");
+        assert!(delays.iter().all(|d| (1..=6).contains(d)));
+    }
+
+    #[test]
+    fn fault_decisions_replay_from_the_seed() {
+        let plan =
+            FaultPlan { drop_per_mille: 200, dup_per_mille: 100, min_delay: 1, max_delay: 30 };
+        let run = |seed: u64| -> Vec<Vec<u64>> {
+            let mut rng = SimRng::new(seed);
+            (0..100).map(|_| plan.decide(&mut rng)).collect()
+        };
+        assert_eq!(run(99), run(99), "same seed, same fault schedule");
+        assert_ne!(run(99), run(100), "different seeds diverge");
+    }
+
+    #[test]
+    fn queue_pops_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, "e");
+        q.push(3, "a");
+        q.push(3, "b");
+        q.push(4, "d");
+        q.push(3, "c");
+        let order: Vec<(u64, &str)> =
+            std::iter::from_fn(|| q.pop().map(|(at, _, e)| (at, e))).collect();
+        assert_eq!(order, vec![(3, "a"), (3, "b"), (3, "c"), (4, "d"), (5, "e")]);
+        assert_eq!(q.now(), 5);
+    }
+
+    #[test]
+    fn queue_clamps_events_scheduled_in_the_past() {
+        let mut q = EventQueue::new();
+        q.push(10, "late");
+        assert!(q.pop().is_some());
+        q.push(2, "past");
+        let (at, _, _) = q.pop().expect("event present");
+        assert_eq!(at, 10, "past events are delivered now, never before");
+    }
+}

@@ -28,6 +28,9 @@
 //!   rates and combining factors for comparison against real-hardware
 //!   measurements, and hosts the deterministic mixed-batch-size stream
 //!   shared with the stress harness.
+//! * [`des`] is a seeded discrete-event kernel with per-message fault
+//!   injection (drop / duplicate / delay / reorder) — the deterministic
+//!   substrate under the `counting-cluster` distributed simulation.
 //!
 //! The simulator also verifies Fetch&Increment semantics: in a counting
 //! network the values handed out on the output wires form exactly the range
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod contention;
+pub mod des;
 pub mod elimination;
 pub mod linearizability;
 pub mod model;
@@ -44,6 +48,7 @@ pub mod scheduler;
 pub mod sim;
 
 pub use contention::{measure_contention, sweep_concurrency, ContentionPoint};
+pub use des::{EventQueue, FaultPlan, SimRng};
 pub use elimination::{batch_size_sequence, simulate_arena, ArenaConfig, ArenaReport};
 pub use linearizability::{is_linearizable, violations, Violation};
 pub use model::{explore, replay, Counterexample, ExploreReport, ModelConfig, Scenario, Trace};

@@ -27,6 +27,11 @@
 //!   id service: a blocking worker-pool server exposing the service
 //!   layer's adapters over real sockets, plus its keep-alive test
 //!   client;
+//! * [`cluster`] (crate `counting-cluster`) — the distributed layer:
+//!   nodes lease contiguous value blocks from a durable coordinator over
+//!   a lossy network, with membership churn, crash-restart watermark
+//!   recovery, and a deterministic fault-injecting simulation that
+//!   checks global uniqueness and the exact range;
 //! * [`sorting`] (crate `sortnet`) — comparator networks derived from the
 //!   counting constructions.
 //!
@@ -92,6 +97,12 @@ pub mod service {
 /// `counting-server` crate).
 pub mod server {
     pub use counting_server::*;
+}
+
+/// Distributed counting cluster and its deterministic fault-injecting
+/// simulation (re-export of the `counting-cluster` crate).
+pub mod cluster {
+    pub use counting_cluster::*;
 }
 
 /// Sorting networks derived from counting networks (re-export of the
