@@ -2,20 +2,27 @@
 //! faults: every cell of a node-count × fault-plan × churn-plan sweep
 //! runs the block-lease protocol through the deterministic
 //! discrete-event simulation ([`counting_cluster::run_sim`]) and checks
-//! global uniqueness plus the exact-range invariant at quiescence.
+//! global uniqueness plus the exact-range invariant at quiescence. A
+//! second axis replays the same protocol behind a *replicated*
+//! coordinator (3 or 5 replicas, leader lease + quorum append) while
+//! replica crashes and split-brain-shaped partitions fire.
 //!
 //! Everything in a cell — demand schedule, crash/restart/join/leave
-//! plan, per-hop drop/duplicate/delay decisions — derives from `--seed`,
-//! so the whole sweep (including the JSON artifact, which carries no
-//! wall-clock data) is byte-identical across runs: a failing cell *is*
-//! its replay recipe.
+//! plan, replica crash and partition windows, per-hop
+//! drop/duplicate/delay decisions — derives from `--seed`, so the whole
+//! sweep (including the JSON artifact, which carries no wall-clock
+//! data) is byte-identical across runs: a failing cell *is* its replay
+//! recipe.
 //!
-//! `--mutation skip-recovery|grant-no-dedup` injects a calibration bug
-//! and inverts the gate: the run fails unless the checker catches the
-//! mutation somewhere in the sweep. CI runs both directions.
+//! `--mutation <flag>` injects a calibration bug and inverts the gate:
+//! the run fails unless the checker catches the mutation somewhere in
+//! the sweep. CI runs every direction. `--trace-dir <dir>` re-runs each
+//! broken cell with trace recording on and writes the replayable
+//! counterexample trace there (nightly CI uploads them as artifacts).
 //!
 //! Run with: `cargo run --release -p bench --bin exp_cluster
-//! [-- --quick] [--json <path>] [--seed <u64>] [--mutation <flag>]`
+//! [-- --quick] [--json <path>] [--seed <u64>] [--mutation <flag>]
+//! [--trace-dir <dir>]`
 
 use bench::Table;
 use counting_cluster::{run_sim, ClusterSimConfig, Mutation};
@@ -54,6 +61,9 @@ struct ClusterJson {
 #[derive(Debug, Serialize)]
 struct ClusterCellReport {
     workers: u64,
+    /// Coordinator replicas backing the cell (1 = the single durable
+    /// coordinator, 3/5 = the replicated quorum log).
+    replicas: u64,
     fault: String,
     churn: String,
     drop_per_mille: u32,
@@ -62,6 +72,9 @@ struct ClusterCellReport {
     restarts: u64,
     joins: u64,
     leaves: u64,
+    replica_crashes: u64,
+    replica_restarts: u64,
+    severed_hops: u64,
     handed: u64,
     unique: u64,
     dropped_hops: u64,
@@ -74,6 +87,108 @@ struct ClusterCellReport {
     violations: Vec<String>,
 }
 
+/// Parses a `--mutation` flag strictly: an unknown name is an error
+/// naming every valid flag, not a panic backtrace.
+fn parse_mutation(flag: &str) -> Result<Mutation, String> {
+    Mutation::parse(flag).ok_or_else(|| {
+        let valid: Vec<&str> = Mutation::ALL.iter().map(|m| m.flag()).collect();
+        format!("unknown --mutation {flag:?}; valid mutations: {}", valid.join(" | "))
+    })
+}
+
+/// Output sinks shared by every sweep cell: the human table, the JSON
+/// report rows, and the optional counterexample trace directory.
+struct CellSink<'a> {
+    trace_dir: Option<&'a str>,
+    table: &'a mut Table,
+    reports: &'a mut Vec<ClusterCellReport>,
+}
+
+/// Runs one sweep cell: simulate, print the table row and the
+/// machine-readable aggregate line, record the JSON report, and — when
+/// the cell is broken and `--trace-dir` was given — write the
+/// replayable counterexample trace.
+fn run_cell(
+    label: &str,
+    fault_label: &str,
+    churn_label: &str,
+    config: &ClusterSimConfig,
+    cell_seed: u64,
+    sink: &mut CellSink<'_>,
+) {
+    let report = run_sim(config, cell_seed);
+    let rate =
+        (report.final_tick > 0).then(|| report.handed as f64 * 1_000.0 / report.final_tick as f64);
+    let status = if report.violations.is_empty() && report.converged {
+        "ok".to_owned()
+    } else if report.converged {
+        format!("VIOLATED({})", report.violations.len())
+    } else {
+        "STUCK".to_owned()
+    };
+    let broken = !report.violations.is_empty() || !report.converged;
+    sink.table.push_row(vec![
+        label.to_owned(),
+        report.handed.to_string(),
+        report.stats.dropped.to_string(),
+        report.stats.duplicated.to_string(),
+        format!(
+            "{}/{}/{}/{}",
+            report.stats.crashes, report.stats.restarts, report.stats.joins, report.stats.leaves
+        ),
+        rate.map_or_else(|| "n/a".to_owned(), |r| format!("{r:.1}")),
+        status,
+    ]);
+    println!(
+        "E18-aggregate cell={label} seed={cell_seed} handed={} unique={} \
+         dropped={} duplicated={} severed={} converged={} violations={}",
+        report.handed,
+        report.unique,
+        report.stats.dropped,
+        report.stats.duplicated,
+        report.stats.severed,
+        report.converged,
+        report.violations.len()
+    );
+    if broken {
+        if let Some(dir) = sink.trace_dir {
+            // Re-run with trace recording on: the trace layer draws no
+            // randomness, so the replay is byte-identical to the run
+            // that just failed.
+            let traced = run_sim(&ClusterSimConfig { record_trace: true, ..*config }, cell_seed);
+            let trace = traced.trace.expect("record_trace was set");
+            let file = format!("{dir}/E18-{}-seed{cell_seed}.json", label.replace('/', "_"));
+            std::fs::create_dir_all(dir).expect("create --trace-dir");
+            std::fs::write(&file, serde_json::to_string(&trace).expect("trace serializes"))
+                .expect("write counterexample trace");
+            println!("counterexample trace written to {file}");
+        }
+    }
+    sink.reports.push(ClusterCellReport {
+        workers: config.workers,
+        replicas: config.replicas,
+        fault: fault_label.to_owned(),
+        churn: churn_label.to_owned(),
+        drop_per_mille: config.fault.drop_per_mille,
+        dup_per_mille: config.fault.dup_per_mille,
+        crashes: report.stats.crashes,
+        restarts: report.stats.restarts,
+        joins: report.stats.joins,
+        leaves: report.stats.leaves,
+        replica_crashes: report.stats.replica_crashes,
+        replica_restarts: report.stats.replica_restarts,
+        severed_hops: report.stats.severed,
+        handed: report.handed,
+        unique: report.unique,
+        dropped_hops: report.stats.dropped,
+        duplicated_hops: report.stats.duplicated,
+        converged: report.converged,
+        final_tick: report.final_tick,
+        values_per_kilotick: rate,
+        violations: report.violations,
+    });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -84,10 +199,15 @@ fn main() {
     let seed: u64 = args.iter().position(|a| a == "--seed").map_or(DEFAULT_SEED, |i| {
         args.get(i + 1).expect("--seed requires a value").parse().expect("--seed takes a u64")
     });
+    let trace_dir = args
+        .iter()
+        .position(|a| a == "--trace-dir")
+        .map(|i| args.get(i + 1).expect("--trace-dir requires a path").clone());
     let mutation = args.iter().position(|a| a == "--mutation").map(|i| {
         let flag = args.get(i + 1).expect("--mutation requires a value");
-        Mutation::parse(flag).unwrap_or_else(|| {
-            panic!("unknown --mutation {flag:?} (skip-recovery | grant-no-dedup)")
+        parse_mutation(flag).unwrap_or_else(|err| {
+            eprintln!("error: {err}");
+            std::process::exit(2);
         })
     });
 
@@ -109,6 +229,12 @@ fn main() {
         ChurnLevel { label: "churny", crashes: 2, joins: 1, leaves: 1 },
     ];
     let (demand_per_node, horizon) = if quick { (60, 3_000) } else { (200, 8_000) };
+    // The replicated-coordinator axis: fixed 4 workers under the lossy
+    // (and, in the full sweep, chaos) plan with worker churn, one
+    // replica crash/restart and split-brain-shaped partition windows.
+    let replica_counts: &[u64] = &[3, 5];
+    let replica_faults: &[&FaultLevel] =
+        if quick { &[&fault_levels[0]] } else { &[&fault_levels[1], &fault_levels[2]] };
 
     println!(
         "## E18 — distributed counting cluster, block-lease protocol under a \
@@ -126,6 +252,8 @@ fn main() {
         "status",
     ]);
     let mut reports = Vec::new();
+    let mut sink =
+        CellSink { trace_dir: trace_dir.as_deref(), table: &mut table, reports: &mut reports };
     let mut cell_index = 0u64;
     for &workers in worker_counts {
         for fault in fault_levels {
@@ -144,63 +272,33 @@ fn main() {
                 // Each cell gets its own deterministic sub-seed.
                 let cell_seed = seed.wrapping_add(cell_index.wrapping_mul(0x9E37_79B9));
                 cell_index += 1;
-                let report = run_sim(&config, cell_seed);
-
-                let rate = (report.final_tick > 0)
-                    .then(|| report.handed as f64 * 1_000.0 / report.final_tick as f64);
                 let label = format!("{}n/{}/{}", workers, fault.label, churn.label);
-                let status = if report.violations.is_empty() && report.converged {
-                    "ok".to_owned()
-                } else if report.converged {
-                    format!("VIOLATED({})", report.violations.len())
-                } else {
-                    "STUCK".to_owned()
-                };
-                table.push_row(vec![
-                    label.clone(),
-                    report.handed.to_string(),
-                    report.stats.dropped.to_string(),
-                    report.stats.duplicated.to_string(),
-                    format!(
-                        "{}/{}/{}/{}",
-                        report.stats.crashes,
-                        report.stats.restarts,
-                        report.stats.joins,
-                        report.stats.leaves
-                    ),
-                    rate.map_or_else(|| "n/a".to_owned(), |r| format!("{r:.1}")),
-                    status,
-                ]);
-                println!(
-                    "E18-aggregate cell={label} seed={cell_seed} handed={} unique={} \
-                     dropped={} duplicated={} converged={} violations={}",
-                    report.handed,
-                    report.unique,
-                    report.stats.dropped,
-                    report.stats.duplicated,
-                    report.converged,
-                    report.violations.len()
-                );
-                reports.push(ClusterCellReport {
-                    workers,
-                    fault: fault.label.to_owned(),
-                    churn: churn.label.to_owned(),
-                    drop_per_mille: fault.plan.drop_per_mille,
-                    dup_per_mille: fault.plan.dup_per_mille,
-                    crashes: report.stats.crashes,
-                    restarts: report.stats.restarts,
-                    joins: report.stats.joins,
-                    leaves: report.stats.leaves,
-                    handed: report.handed,
-                    unique: report.unique,
-                    dropped_hops: report.stats.dropped,
-                    duplicated_hops: report.stats.duplicated,
-                    converged: report.converged,
-                    final_tick: report.final_tick,
-                    values_per_kilotick: rate,
-                    violations: report.violations,
-                });
+                run_cell(&label, fault.label, churn.label, &config, cell_seed, &mut sink);
             }
+        }
+    }
+    // Replica cells come after every legacy cell so the legacy cells
+    // keep their historical sub-seed indices.
+    for &replicas in replica_counts {
+        for fault in replica_faults {
+            let config = ClusterSimConfig {
+                workers: 4,
+                demand_per_node,
+                horizon,
+                fault: fault.plan,
+                crashes: 2,
+                joins: 1,
+                leaves: 1,
+                replicas,
+                replica_crashes: 1,
+                partitions: 3,
+                mutation,
+                ..ClusterSimConfig::default()
+            };
+            let cell_seed = seed.wrapping_add(cell_index.wrapping_mul(0x9E37_79B9));
+            cell_index += 1;
+            let label = format!("4n/r{}/{}/churny", replicas, fault.label);
+            run_cell(&label, fault.label, "churny", &config, cell_seed, &mut sink);
         }
     }
     println!("\n{}", table.to_markdown());
@@ -209,7 +307,9 @@ fn main() {
          global uniqueness, and at quiescence the coordinator's truncated grants plus\n\
          its free-list must tile 0..cursor exactly — across message loss, duplication,\n\
          reordering, crash-restarts (watermark recovery) and membership churn. The\n\
-         rate column is per *virtual* kilotick: deterministic, host-independent.\n"
+         `rN` cells run the same protocol behind N coordinator replicas (leader lease\n\
+         + quorum append) while replica crashes and leader-isolating partitions fire.\n\
+         The rate column is per *virtual* kilotick: deterministic, host-independent.\n"
     );
 
     let doc = ClusterJson { seed, mutation: mutation.map(|m| m.flag().to_owned()), reports };
@@ -250,6 +350,28 @@ fn main() {
                 broken.len(),
                 doc.reports.len()
             );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_mutation;
+    use counting_cluster::Mutation;
+
+    #[test]
+    fn known_mutations_parse() {
+        for mutation in Mutation::ALL {
+            assert_eq!(parse_mutation(mutation.flag()), Ok(mutation));
+        }
+    }
+
+    #[test]
+    fn unknown_mutation_error_lists_every_valid_flag() {
+        let err = parse_mutation("no-such-bug").expect_err("must be rejected");
+        assert!(err.contains("no-such-bug"), "{err}");
+        for mutation in Mutation::ALL {
+            assert!(err.contains(mutation.flag()), "{} not listed in: {err}", mutation.flag());
         }
     }
 }

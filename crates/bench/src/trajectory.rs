@@ -322,6 +322,9 @@ pub struct ClusterIngest {
 pub struct ClusterCellIngest {
     /// Worker node count.
     pub workers: u64,
+    /// Coordinator replicas (1 = single durable coordinator; 3/5 = the
+    /// replicated quorum log, keyed into the scenario as `@rN`).
+    pub replicas: u64,
     /// Fault-level label (`reliable`, `lossy`, `chaos`).
     pub fault: String,
     /// Churn-level label (`calm`, `churny`).
@@ -472,11 +475,15 @@ pub fn records_from_cluster(doc: &ClusterIngest) -> Vec<BenchRecord> {
     );
     let mut out = Vec::new();
     for report in &doc.reports {
+        // Replicated-coordinator cells key their scenario with `@rN`;
+        // legacy single-coordinator cells keep their historical keys.
+        let suffix =
+            if report.replicas > 1 { format!("@r{}", report.replicas) } else { String::new() };
         push_unique(
             &mut out,
             BenchRecord {
                 suite: "cluster".to_owned(),
-                scenario: format!("{}/{}", report.fault, report.churn),
+                scenario: format!("{}/{}{}", report.fault, report.churn, suffix),
                 counter: format!("cluster[{}nodes]", report.workers),
                 threads: report.workers as usize,
                 batching: "block-lease".to_owned(),
@@ -837,6 +844,7 @@ mod tests {
             reports: vec![
                 ClusterCellIngest {
                     workers: 4,
+                    replicas: 1,
                     fault: "lossy".to_owned(),
                     churn: "churny".to_owned(),
                     handed: 900,
@@ -844,15 +852,24 @@ mod tests {
                 },
                 ClusterCellIngest {
                     workers: 8,
+                    replicas: 1,
                     fault: "chaos".to_owned(),
                     churn: "calm".to_owned(),
                     handed: 1600,
                     values_per_kilotick: Some(200.0),
                 },
+                ClusterCellIngest {
+                    workers: 4,
+                    replicas: 3,
+                    fault: "lossy".to_owned(),
+                    churn: "churny".to_owned(),
+                    handed: 850,
+                    values_per_kilotick: Some(106.0),
+                },
             ],
         };
         let records = records_from_cluster(&doc);
-        assert_eq!(records.len(), 2);
+        assert_eq!(records.len(), 3);
         assert!(records.iter().all(|r| r.suite == "cluster"));
         assert!(records.iter().all(|r| r.batching == "block-lease"));
         assert_eq!(records[0].scenario, "lossy/churny");
@@ -860,6 +877,10 @@ mod tests {
         assert_eq!(records[0].threads, 4);
         assert_eq!(records[0].ops_per_second, Some(112.5));
         assert_eq!(records[1].counter, "cluster[8nodes]");
+        // Replicated cells key their scenario with the replica count,
+        // so they never collide with the legacy single-coordinator key.
+        assert_eq!(records[2].scenario, "lossy/churny@r3");
+        assert_eq!(records[2].counter, "cluster[4nodes]");
         let t = trajectory(records);
         assert_eq!(validate(&t), Ok(()), "cluster cells must form unique keys");
     }

@@ -301,7 +301,35 @@ fn exp_cluster_quick_passes_every_sweep_cell() {
     assert!(json.contains("\"churn\":\"churny\""), "missing churny cells: {json}");
     assert!(!json.contains("\"converged\":false"), "a cell failed to drain: {json}");
     assert!(json.contains("\"violations\":[]"), "missing violation arrays: {json}");
+    // The replicated-coordinator axis is part of the quick sweep: a
+    // 3-replica cell with replica churn and partition windows must
+    // drain clean too.
+    assert!(json.contains("\"replicas\":3"), "missing 3-replica cell: {json}");
+    assert!(stdout.contains("4n/r3/"), "missing replica cell row:\n{stdout}");
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn exp_cluster_rejects_unknown_mutations_and_names_the_valid_ones() {
+    // The strict-parsing gate: an unknown mutation name must exit
+    // nonzero with an error listing every valid flag, not panic.
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_cluster"))
+        .args(["--quick", "--mutation", "no-such-bug"])
+        .output()
+        .expect("binary should spawn");
+    assert!(!output.status.success(), "unknown mutation must be rejected");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown --mutation"), "error not named in stderr:\n{stderr}");
+    assert!(stderr.contains("no-such-bug"), "offending flag not echoed:\n{stderr}");
+    for flag in
+        ["skip-recovery", "grant-no-dedup", "split-brain-double-grant", "commit-before-quorum"]
+    {
+        assert!(stderr.contains(flag), "valid mutation {flag} not listed:\n{stderr}");
+    }
+    assert!(
+        !String::from_utf8_lossy(&output.stderr).contains("panicked"),
+        "rejection must be an error message, not a panic:\n{stderr}"
+    );
 }
 
 #[test]
@@ -348,7 +376,9 @@ fn exp_cluster_mutations_are_caught_by_the_checker() {
     // protocol bug must be caught somewhere in the sweep (the binary
     // inverts its gate under --mutation and exits nonzero if the bug
     // survives every cell).
-    for mutation in ["skip-recovery", "grant-no-dedup"] {
+    for mutation in
+        ["skip-recovery", "grant-no-dedup", "split-brain-double-grant", "commit-before-quorum"]
+    {
         let stdout =
             run_quick(env!("CARGO_BIN_EXE_exp_cluster"), &["--quick", "--mutation", mutation]);
         assert!(
@@ -535,13 +565,24 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
         serde_json::to_string(&ClusterIngest {
             seed: 0xE18,
             mutation: None,
-            reports: vec![ClusterCellIngest {
-                workers: 4,
-                fault: "lossy".to_owned(),
-                churn: "churny".to_owned(),
-                handed: 900,
-                values_per_kilotick: Some(112.5),
-            }],
+            reports: vec![
+                ClusterCellIngest {
+                    workers: 4,
+                    replicas: 1,
+                    fault: "lossy".to_owned(),
+                    churn: "churny".to_owned(),
+                    handed: 900,
+                    values_per_kilotick: Some(112.5),
+                },
+                ClusterCellIngest {
+                    workers: 4,
+                    replicas: 3,
+                    fault: "lossy".to_owned(),
+                    churn: "churny".to_owned(),
+                    handed: 850,
+                    values_per_kilotick: Some(106.0),
+                },
+            ],
         })
         .expect("fixture serializes"),
     );
@@ -613,6 +654,10 @@ fn exp_bench_ingests_suite_reports_and_compares_against_prior_trajectories() {
             && r.counter == "cluster[4nodes]"
             && r.scenario == "lossy/churny"),
         "missing cluster sweep cell: {json}"
+    );
+    assert!(
+        t.records.iter().any(|r| r.suite == "cluster" && r.scenario == "lossy/churny@r3"),
+        "missing replicated cluster sweep cell: {json}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

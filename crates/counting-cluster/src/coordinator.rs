@@ -23,6 +23,15 @@ use crate::message::{
 use crate::node::ProtocolConfig;
 
 /// Everything the coordinator persists.
+///
+/// This struct is also the **replicated state machine** of the
+/// replicated coordinator ([`crate::replica`]): the pure transition
+/// helpers below ([`Self::lease_answer`], [`Self::lease_grant`],
+/// [`Self::seal`], [`Self::admit`], [`Self::evict`],
+/// [`Self::tombstone`], [`Self::bump_epoch`]) are shared by the
+/// standalone [`Coordinator`] and by every replica applying committed
+/// log entries, so a quorum of replicas applying the same command
+/// sequence reaches the same durable state bit-for-bit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoordinatorDurable {
     /// First never-allocated value: allocation falls back here when the
@@ -43,6 +52,158 @@ pub struct CoordinatorDurable {
     pub epoch: u64,
     /// Current worker members (the coordinator itself is implicit).
     pub members: BTreeSet<NodeId>,
+}
+
+/// The already-decided part of a lease request: an answer that re-sends
+/// or refuses without allocating anything new.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseAnswer {
+    /// The request was answered before — re-send the recorded grant.
+    Regrant(Block),
+    /// The request is tombstoned (or its worker sealed): permanently
+    /// refused.
+    Refused,
+}
+
+impl CoordinatorDurable {
+    /// The bootstrap state: epoch 1 with `workers` as founding members,
+    /// nothing allocated.
+    #[must_use]
+    pub fn initial(workers: &[NodeId]) -> Self {
+        Self {
+            cursor: 0,
+            free: Vec::new(),
+            grants: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
+            sealed: BTreeMap::new(),
+            epoch: 1,
+            members: workers.iter().copied().collect(),
+        }
+    }
+
+    /// Steps 1–3 of lease handling, in the protocol's fixed order:
+    /// tombstoned → refused; recorded (unless `no_dedup`) → re-grant;
+    /// sealed worker → tombstone and refuse. `None` means the request
+    /// is fresh and the caller may allocate ([`Self::lease_grant`]).
+    pub fn lease_answer(
+        &mut self,
+        node: NodeId,
+        req_id: u64,
+        no_dedup: bool,
+    ) -> Option<LeaseAnswer> {
+        if self.tombstones.contains(&(node, req_id)) {
+            return Some(LeaseAnswer::Refused);
+        }
+        if !no_dedup {
+            if let Some(block) = self.grants.get(&(node, req_id)).copied() {
+                return Some(LeaseAnswer::Regrant(block));
+            }
+        }
+        if self.sealed.contains_key(&node) {
+            // A sealed worker gets nothing new; tombstone so the answer
+            // is final.
+            self.tombstones.insert((node, req_id));
+            return Some(LeaseAnswer::Refused);
+        }
+        None
+    }
+
+    /// Allocates a block for a fresh request and records the grant.
+    /// Callers must have ruled out an existing answer via
+    /// [`Self::lease_answer`] first.
+    pub fn lease_grant(&mut self, node: NodeId, req_id: u64, want: u64) -> Block {
+        let block = self.allocate(want.max(1));
+        self.grants.insert((node, req_id), block);
+        block
+    }
+
+    /// Takes a run from the free-list (first fit, possibly shorter than
+    /// `want` — the worker simply asks again), else from the cursor.
+    fn allocate(&mut self, want: u64) -> Block {
+        if let Some(first) = self.free.first_mut() {
+            let take = want.min(first.len);
+            let block = Block { base: first.base, len: take };
+            first.base += take;
+            first.len -= take;
+            if first.len == 0 {
+                self.free.remove(0);
+            }
+            return block;
+        }
+        let block = Block { base: self.cursor, len: want };
+        self.cursor += want;
+        block
+    }
+
+    /// Seals `node` at `watermark`: truncates its grants (in request-id
+    /// order — grant order, since workers keep one request in flight)
+    /// to the consumed prefix and frees the tails. Idempotent: the
+    /// watermark is monotonic and re-truncation frees nothing new.
+    /// Returns `false` if the worker claims more than it was granted.
+    pub fn seal(&mut self, node: NodeId, watermark: u64) -> bool {
+        let recorded = self.sealed.get(&node).copied().unwrap_or(0);
+        let watermark = recorded.max(watermark);
+        self.sealed.insert(node, watermark);
+        let reqs: Vec<u64> =
+            self.grants.range((node, 0)..=(node, u64::MAX)).map(|(&(_, req), _)| req).collect();
+        let mut remaining = watermark;
+        for req in reqs {
+            let block = self.grants.get_mut(&(node, req)).expect("collected above");
+            if remaining >= block.len {
+                remaining -= block.len;
+                continue;
+            }
+            let keep = remaining;
+            remaining = 0;
+            let tail = Block { base: block.base + keep, len: block.len - keep };
+            if keep == 0 {
+                self.grants.remove(&(node, req));
+            } else {
+                block.len = keep;
+            }
+            self.push_free(tail);
+        }
+        remaining == 0
+    }
+
+    fn push_free(&mut self, block: Block) {
+        if block.len == 0 {
+            return;
+        }
+        let at = self.free.partition_point(|b| b.base < block.base);
+        self.free.insert(at, block);
+    }
+
+    /// Adds `node` to the membership and bumps the epoch; a no-op
+    /// (returning `false`) when the node is already a member or sealed
+    /// — sealed ids never return.
+    pub fn admit(&mut self, node: NodeId) -> bool {
+        if self.members.contains(&node) || self.sealed.contains_key(&node) {
+            return false;
+        }
+        self.members.insert(node);
+        self.bump_epoch();
+        true
+    }
+
+    /// Removes `node` from the membership *without* bumping the epoch
+    /// (so a batch of evictions can share one bump); returns whether it
+    /// was a member.
+    pub fn evict(&mut self, node: NodeId) -> bool {
+        self.members.remove(&node)
+    }
+
+    /// Advances the membership epoch (the durable half of an epoch
+    /// change; broadcast and ack tracking are the driver's volatile
+    /// concern).
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Permanently bars `(node, req_id)` from allocation.
+    pub fn tombstone(&mut self, node: NodeId, req_id: u64) {
+        self.tombstones.insert((node, req_id));
+    }
 }
 
 /// The coordinator state machine. See the [module docs](self).
@@ -67,17 +228,7 @@ impl Coordinator {
     /// the outbox.
     #[must_use]
     pub fn new(config: ProtocolConfig, workers: &[NodeId]) -> Self {
-        let members: BTreeSet<NodeId> = workers.iter().copied().collect();
-        let durable = CoordinatorDurable {
-            cursor: 0,
-            free: Vec::new(),
-            grants: BTreeMap::new(),
-            tombstones: BTreeSet::new(),
-            sealed: BTreeMap::new(),
-            epoch: 1,
-            members,
-        };
-        Self::from_durable(durable, config, 0, false)
+        Self::from_durable(CoordinatorDurable::initial(workers), config, 0, false)
     }
 
     /// Rebuilds a coordinator from its durable state (volatile timers
@@ -177,7 +328,7 @@ impl Coordinator {
                     // Never granted. Tombstone first, so this answer
                     // can never be invalidated by a late duplicate of
                     // the original request.
-                    self.durable.tombstones.insert((node, req_id));
+                    self.durable.tombstone(node, req_id);
                     self.send_direct(node, Message::RecoverNone { node, req_id });
                 }
             }
@@ -200,9 +351,9 @@ impl Coordinator {
                 }
             }
             Message::Return { node, watermark, leaving } => {
-                let clean = self.seal(node, watermark);
+                let clean = self.durable.seal(node, watermark);
                 debug_assert!(clean, "a worker can never consume more than it was granted");
-                if leaving && self.durable.members.remove(&node) {
+                if leaving && self.durable.evict(node) {
                     self.acks.remove(&node);
                     self.bump_epoch(now);
                 }
@@ -214,12 +365,16 @@ impl Coordinator {
                     self.maybe_commit();
                 }
             }
-            // Worker-bound kinds addressed to the coordinator are
-            // misrouted noise: ignore.
+            // Worker-bound kinds and replica-group kinds addressed to
+            // the standalone coordinator are misrouted noise: ignore.
             Message::LeaseGrant { .. }
             | Message::RecoverNone { .. }
             | Message::Membership { .. }
-            | Message::ReturnAck { .. } => {}
+            | Message::ReturnAck { .. }
+            | Message::VoteRequest { .. }
+            | Message::VoteReply { .. }
+            | Message::Append { .. }
+            | Message::AppendAck { .. } => {}
         }
     }
 
@@ -237,7 +392,7 @@ impl Coordinator {
             .collect();
         if !dead.is_empty() {
             for worker in dead {
-                self.durable.members.remove(&worker);
+                self.durable.evict(worker);
                 self.acks.remove(&worker);
             }
             self.bump_epoch(now);
@@ -257,16 +412,21 @@ impl Coordinator {
     /// Admits (or re-admits) a worker the member list does not hold:
     /// sealed ids never return, live ones bump the epoch.
     fn readmit(&mut self, now: u64, node: NodeId) {
-        if self.durable.members.contains(&node) || self.durable.sealed.contains_key(&node) {
+        if !self.durable.admit(node) {
             return;
         }
-        self.durable.members.insert(node);
         self.last_heard.insert(node, now);
-        self.bump_epoch(now);
+        self.epoch_changed(now);
     }
 
     fn bump_epoch(&mut self, now: u64) {
-        self.durable.epoch += 1;
+        self.durable.bump_epoch();
+        self.epoch_changed(now);
+    }
+
+    /// The volatile half of an epoch change: reset ack tracking and
+    /// rebroadcast the member list.
+    fn epoch_changed(&mut self, now: u64) {
         self.acks.clear();
         self.committed = self.quorum() == 0;
         self.broadcast_tree();
@@ -290,12 +450,8 @@ impl Coordinator {
     }
 
     fn handle_lease(&mut self, node: NodeId, req_id: u64, want: u64) {
-        if self.durable.tombstones.contains(&(node, req_id)) {
-            self.send_direct(node, Message::RecoverNone { node, req_id });
-            return;
-        }
-        if !self.no_dedup {
-            if let Some(block) = self.durable.grants.get(&(node, req_id)).copied() {
+        match self.durable.lease_answer(node, req_id, self.no_dedup) {
+            Some(LeaseAnswer::Regrant(block)) => {
                 // A retry or a network duplicate: re-send the recorded
                 // grant (directly — the tree already failed it once).
                 self.send_direct(
@@ -304,13 +460,11 @@ impl Coordinator {
                 );
                 return;
             }
-        }
-        if self.durable.sealed.contains_key(&node) {
-            // A sealed worker gets nothing new; tombstone so the
-            // answer is final.
-            self.durable.tombstones.insert((node, req_id));
-            self.send_direct(node, Message::RecoverNone { node, req_id });
-            return;
+            Some(LeaseAnswer::Refused) => {
+                self.send_direct(node, Message::RecoverNone { node, req_id });
+                return;
+            }
+            None => {}
         }
         if !self.committed {
             // Grants pause until the current epoch commits; the request
@@ -320,73 +474,11 @@ impl Coordinator {
             }
             return;
         }
-        let block = self.allocate(want.max(1));
-        self.durable.grants.insert((node, req_id), block);
+        let block = self.durable.lease_grant(node, req_id, want);
         let msg = Message::LeaseGrant { node, req_id, base: block.base, len: block.len };
         let members = self.member_list();
         let hop = next_hop(&members, COORDINATOR, node).unwrap_or(node);
         self.outbox.push(Outgoing { hop, env: Envelope { src: COORDINATOR, dst: node, msg } });
-    }
-
-    /// Takes a run from the free-list (first fit, possibly shorter than
-    /// `want` — the worker simply asks again), else from the cursor.
-    fn allocate(&mut self, want: u64) -> Block {
-        if let Some(first) = self.durable.free.first_mut() {
-            let take = want.min(first.len);
-            let block = Block { base: first.base, len: take };
-            first.base += take;
-            first.len -= take;
-            if first.len == 0 {
-                self.durable.free.remove(0);
-            }
-            return block;
-        }
-        let block = Block { base: self.durable.cursor, len: want };
-        self.durable.cursor += want;
-        block
-    }
-
-    /// Seals `node` at `watermark`: truncates its grants (in request-id
-    /// order — grant order, since workers keep one request in flight)
-    /// to the consumed prefix and frees the tails. Idempotent: the
-    /// watermark is monotonic and re-truncation frees nothing new.
-    /// Returns `false` if the worker claims more than it was granted.
-    fn seal(&mut self, node: NodeId, watermark: u64) -> bool {
-        let recorded = self.durable.sealed.get(&node).copied().unwrap_or(0);
-        let watermark = recorded.max(watermark);
-        self.durable.sealed.insert(node, watermark);
-        let reqs: Vec<u64> = self
-            .durable
-            .grants
-            .range((node, 0)..=(node, u64::MAX))
-            .map(|(&(_, req), _)| req)
-            .collect();
-        let mut remaining = watermark;
-        for req in reqs {
-            let block = self.durable.grants.get_mut(&(node, req)).expect("collected above");
-            if remaining >= block.len {
-                remaining -= block.len;
-                continue;
-            }
-            let keep = remaining;
-            remaining = 0;
-            let tail = Block { base: block.base + keep, len: block.len - keep };
-            if keep == 0 {
-                self.durable.grants.remove(&(node, req));
-            } else {
-                block.len = keep;
-            }
-            self.push_free(tail);
-        }
-        remaining == 0
-    }
-
-    fn push_free(&mut self, block: Block) {
-        if block.len == 0 {
-            return;
-        }
-        let at = self.durable.free.partition_point(|b| b.base < block.base);
-        self.durable.free.insert(at, block);
     }
 
     fn broadcast_tree(&mut self) {

@@ -51,9 +51,12 @@
 //! tiling at quiescence ([`check`]). Every run replays byte-identically
 //! from its seed.
 //!
-//! The coordinator itself is a durable single point in this iteration
-//! (it survives restarts, but the simulation does not crash it);
-//! replicating the coordinator is the next open item on the roadmap.
+//! The coordinator runs in two deployments: a single durable point
+//! (this crate's first iteration — it survives restarts but is never
+//! crashed), or **replicated** across 3/5 replicas by a leader-leased
+//! quorum log ([`replica`]) that keeps the same guarantees through
+//! coordinator crashes and network partitions. Workers are oblivious to
+//! the difference: they address the virtual coordinator id either way.
 
 #![warn(missing_docs)]
 
@@ -62,13 +65,15 @@ pub mod coordinator;
 pub mod live;
 pub mod message;
 pub mod node;
+pub mod replica;
 pub mod sim;
 pub mod transport;
 
 pub use check::GlobalChecker;
 pub use coordinator::{Coordinator, CoordinatorDurable};
-pub use live::{run_live, LiveReport};
+pub use live::{run_live, run_live_replicated, LiveReport};
 pub use message::{next_hop, Block, Envelope, Message, NodeId, Outgoing, COORDINATOR};
 pub use node::{Node, NodeDurable, ProtocolConfig};
+pub use replica::{replica_id, Command, LogEntry, Replica, ReplicaDurable, REPLICA_BASE};
 pub use sim::{run_sim, ClusterSimConfig, ClusterTrace, Mutation, SimReport, SimStats, TraceEvent};
 pub use transport::{ChannelTransport, Transport};

@@ -16,6 +16,7 @@ use crate::check::GlobalChecker;
 use crate::coordinator::{Coordinator, CoordinatorDurable};
 use crate::message::{Envelope, NodeId, COORDINATOR};
 use crate::node::{Node, ProtocolConfig};
+use crate::replica::{replica_id, Replica};
 use crate::transport::{ChannelTransport, Transport};
 
 /// The outcome of a [`run_live`] cluster lifetime.
@@ -109,6 +110,55 @@ fn coordinator_loop(
         }
         coordinator.on_tick(now);
         transport.send_all(coordinator.take_outbox());
+        std::thread::sleep(LOOP_PAUSE);
+    }
+}
+
+fn replica_loop(
+    mut replica: Replica,
+    start: Instant,
+    transport: ChannelTransport,
+    net_rx: &Receiver<Envelope>,
+    ctl_rx: &Receiver<Ctl>,
+) -> (bool, u64, u64, CoordinatorDurable) {
+    loop {
+        let now = now_ms(start);
+        while let Ok(env) = net_rx.try_recv() {
+            replica.on_message(now, env);
+        }
+        if let Ok(Ctl::Stop) = ctl_rx.try_recv() {
+            return (
+                replica.is_leader(),
+                replica.term(),
+                replica.commit(),
+                replica.coord().clone(),
+            );
+        }
+        replica.on_tick(now);
+        transport.send_all(replica.take_outbox());
+        std::thread::sleep(LOOP_PAUSE);
+    }
+}
+
+/// The router thread standing in for the virtual coordinator id:
+/// everything workers address to id 0 is fanned out round-robin across
+/// the replica group (a follower forwards to its leader hint).
+fn router_loop(
+    replicas: u64,
+    transport: ChannelTransport,
+    net_rx: &Receiver<Envelope>,
+    ctl_rx: &Receiver<Ctl>,
+) {
+    let mut rotation = 0u64;
+    loop {
+        while let Ok(env) = net_rx.try_recv() {
+            let target = replica_id(rotation % replicas);
+            rotation += 1;
+            transport.send(target, env);
+        }
+        if let Ok(Ctl::Stop) = ctl_rx.try_recv() {
+            return;
+        }
         std::thread::sleep(LOOP_PAUSE);
     }
 }
@@ -233,6 +283,166 @@ pub fn run_live(workers: u64, demand_per_node: u64) -> LiveReport {
     }
 }
 
+/// [`run_live`] with the coordinator replicated across `replicas`
+/// threads (see [`crate::replica`]): a router thread fans the virtual
+/// coordinator id out to the group, a leader is elected live, and the
+/// final audit runs against the leader's committed state.
+#[must_use]
+pub fn run_live_replicated(workers: u64, demand_per_node: u64, replicas: u64) -> LiveReport {
+    let config = ProtocolConfig {
+        heartbeat_every: 20,
+        retry_after: 40,
+        fail_after: 2_000,
+        lease_ticks: 200,
+        ..ProtocolConfig::default()
+    };
+    let start = Instant::now();
+    let ids: Vec<NodeId> = (1..=workers).collect();
+    let mut members = vec![COORDINATOR];
+    members.extend(&ids);
+
+    let mut transport = ChannelTransport::new();
+    let mut net_rxs: BTreeMap<NodeId, Receiver<Envelope>> = BTreeMap::new();
+    let all_ids: Vec<NodeId> = std::iter::once(COORDINATOR)
+        .chain(ids.iter().copied())
+        .chain((0..replicas).map(replica_id))
+        .collect();
+    for &id in &all_ids {
+        let (tx, rx) = channel();
+        transport.register(id, tx);
+        net_rxs.insert(id, rx);
+    }
+    let (up_tx, up_rx) = channel();
+
+    let mut ctl_txs: BTreeMap<NodeId, Sender<Ctl>> = BTreeMap::new();
+    let mut handles = Vec::new();
+    let router_handle = {
+        let transport = transport.clone();
+        let net_rx = net_rxs.remove(&COORDINATOR).expect("registered above");
+        let (ctl_tx, ctl_rx) = channel();
+        ctl_txs.insert(COORDINATOR, ctl_tx);
+        std::thread::spawn(move || router_loop(replicas, transport, &net_rx, &ctl_rx))
+    };
+    let mut replica_handles = Vec::new();
+    for r in 0..replicas {
+        let replica = Replica::new(r, replicas, &ids, config);
+        let transport = transport.clone();
+        let net_rx = net_rxs.remove(&replica_id(r)).expect("registered above");
+        let (ctl_tx, ctl_rx) = channel();
+        ctl_txs.insert(replica_id(r), ctl_tx);
+        replica_handles.push(std::thread::spawn(move || {
+            replica_loop(replica, start, transport, &net_rx, &ctl_rx)
+        }));
+    }
+    for &id in &ids {
+        let node = Node::bootstrap(id, config, members.clone());
+        let transport = transport.clone();
+        let net_rx = net_rxs.remove(&id).expect("registered above");
+        let (ctl_tx, ctl_rx) = channel();
+        ctl_txs.insert(id, ctl_tx);
+        let up_tx = up_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            worker_loop(node, start, transport, &net_rx, &ctl_rx, &up_tx);
+        }));
+    }
+
+    let burst = (demand_per_node / 4).max(1);
+    let mut sent: BTreeMap<NodeId, u64> = ids.iter().map(|&id| (id, 0)).collect();
+    while sent.values().any(|&s| s < demand_per_node) {
+        for &id in &ids {
+            let remaining = demand_per_node - sent[&id];
+            if remaining > 0 {
+                let n = burst.min(remaining);
+                let _ = ctl_txs[&id].send(Ctl::Demand(n));
+                *sent.get_mut(&id).expect("seeded above") += n;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Unlike the single-coordinator harness, grants cannot flow before
+    // the first election; draining immediately would abandon the
+    // backlog. Wait for the hand-out stream to serve every demand (or
+    // stall past the deadline) before sealing.
+    let mut checker = GlobalChecker::new();
+    let mut violations = Vec::new();
+    let mut per_node: BTreeMap<NodeId, u64> = BTreeMap::new();
+    let expected = workers * demand_per_node;
+    let mut handed_events = 0u64;
+    let serve_deadline = Instant::now() + DRAIN_DEADLINE;
+    while handed_events < expected && Instant::now() < serve_deadline {
+        match up_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(Up::Hand(id, value)) => {
+                handed_events += 1;
+                *per_node.entry(id).or_insert(0) += 1;
+                if let Some(violation) = checker.record(id, value, now_ms(start)) {
+                    violations.push(violation);
+                }
+            }
+            Ok(Up::Sealed) | Err(_) => {}
+        }
+    }
+
+    for &id in &ids {
+        let _ = ctl_txs[&id].send(Ctl::Drain);
+    }
+    let mut sealed = 0u64;
+    let deadline = Instant::now() + DRAIN_DEADLINE;
+    while sealed < workers && Instant::now() < deadline {
+        match up_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(Up::Hand(id, value)) => {
+                *per_node.entry(id).or_insert(0) += 1;
+                if let Some(violation) = checker.record(id, value, now_ms(start)) {
+                    violations.push(violation);
+                }
+            }
+            Ok(Up::Sealed) => sealed += 1,
+            Err(_) => {}
+        }
+    }
+    if sealed < workers {
+        violations.push(format!("liveness: live drain timed out with {sealed}/{workers} sealed"));
+    }
+
+    for tx in ctl_txs.values() {
+        let _ = tx.send(Ctl::Stop);
+    }
+    for handle in handles {
+        handle.join().expect("worker thread must not panic");
+    }
+    router_handle.join().expect("router thread must not panic");
+    while let Ok(up) = up_rx.try_recv() {
+        if let Up::Hand(id, value) = up {
+            *per_node.entry(id).or_insert(0) += 1;
+            if let Some(violation) = checker.record(id, value, now_ms(start)) {
+                violations.push(violation);
+            }
+        }
+    }
+    // The audit runs against the group's authoritative state: the
+    // leader's, falling back to the highest (term, commit) replica.
+    let finals: Vec<(bool, u64, u64, CoordinatorDurable)> = replica_handles
+        .into_iter()
+        .map(|h| h.join().expect("replica thread must not panic"))
+        .collect();
+    let coordinator = finals
+        .iter()
+        .max_by_key(|(leader, term, commit, _)| (*leader, *term, *commit))
+        .map(|(_, _, _, coord)| coord.clone())
+        .expect("at least one replica");
+    if sealed == workers {
+        violations.extend(checker.finalize(&coordinator));
+    }
+
+    LiveReport {
+        handed: checker.handed(),
+        unique: checker.unique(),
+        per_node,
+        violations,
+        cursor: coordinator.cursor,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +455,14 @@ mod tests {
         assert_eq!(report.unique, 150);
         assert_eq!(report.per_node.values().sum::<u64>(), 150);
         assert!(report.cursor >= 150, "every hand-out was allocated");
+    }
+
+    #[test]
+    fn a_replicated_coordinator_serves_live_threads_identically() {
+        let report = run_live_replicated(3, 40, 3);
+        assert_eq!(report.violations, Vec::<String>::new());
+        assert_eq!(report.handed, 120);
+        assert_eq!(report.unique, 120);
+        assert!(report.cursor >= 120, "every hand-out was allocated");
     }
 }

@@ -1,17 +1,21 @@
 //! Wire messages, envelopes and tree routing.
 //!
-//! The protocol speaks ten message kinds over an unreliable network, so
-//! every kind is safe to drop, duplicate or reorder: requests carry
-//! per-node request ids the coordinator deduplicates on, acknowledgement
-//! kinds are idempotent, and membership carries an epoch that makes
-//! stale copies inert. [`Message`] implements the vendored `serde`
-//! traits by hand (the derive stub only covers named-field structs and
-//! unit enums), which is the wire-format seam a socket transport will
-//! use; the in-memory transports move the enum directly.
+//! The protocol speaks fourteen message kinds over an unreliable
+//! network, so every kind is safe to drop, duplicate or reorder:
+//! requests carry per-node request ids the coordinator deduplicates on,
+//! acknowledgement kinds are idempotent, membership carries an epoch
+//! that makes stale copies inert, and the replication kinds
+//! (`vote-request` / `vote-reply` / `append` / `append-ack`) carry terms
+//! that make stale copies inert. [`Message`] implements the vendored
+//! `serde` traits by hand (the derive stub only covers named-field
+//! structs and unit enums), which is the wire-format seam a socket
+//! transport will use; the in-memory transports move the enum directly.
 
 use std::fmt;
 
 use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::replica::LogEntry;
 
 /// A cluster participant id. The coordinator is always
 /// [`COORDINATOR`]; worker nodes use ids `>= 1`.
@@ -128,6 +132,57 @@ pub enum Message {
         /// The sealed watermark.
         watermark: u64,
     },
+    /// Replica → replica: `candidate` asks for a vote in `term`
+    /// ([`crate::replica`]).
+    VoteRequest {
+        /// The candidate's term.
+        term: u64,
+        /// The candidate replica.
+        candidate: NodeId,
+        /// The candidate's log length (up-to-dateness check).
+        log_len: u64,
+        /// The term of the candidate's last log entry (0 when empty).
+        last_term: u64,
+    },
+    /// Replica → replica: the answer to a `VoteRequest`.
+    VoteReply {
+        /// The voter's current term.
+        term: u64,
+        /// The voting replica.
+        voter: NodeId,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader → follower: replicate one log entry at `index` (or a pure
+    /// heartbeat when `entry` is absent).
+    Append {
+        /// The leader's term.
+        term: u64,
+        /// The leader replica.
+        leader: NodeId,
+        /// The log position `entry` goes at (also the follower prefix
+        /// the leader believes matches).
+        index: u64,
+        /// The term of the entry before `index` (0 at the log head) —
+        /// the consistency check.
+        prev_term: u64,
+        /// The entry to append, absent for heartbeats.
+        entry: Option<LogEntry>,
+        /// The leader's commit index (entries, not bytes).
+        commit: u64,
+    },
+    /// Follower → leader: the answer to an `Append`.
+    AppendAck {
+        /// The follower's current term.
+        term: u64,
+        /// The acknowledging follower.
+        follower: NodeId,
+        /// The follower's highest log prefix known to match the leader
+        /// (on reject: a safe retry hint — its commit index).
+        matched: u64,
+        /// Whether the append was consistent and accepted.
+        ok: bool,
+    },
 }
 
 impl Message {
@@ -146,6 +201,10 @@ impl Message {
             Message::MembershipAck { .. } => "membership-ack",
             Message::Return { .. } => "return",
             Message::ReturnAck { .. } => "return-ack",
+            Message::VoteRequest { .. } => "vote-request",
+            Message::VoteReply { .. } => "vote-reply",
+            Message::Append { .. } => "append",
+            Message::AppendAck { .. } => "append-ack",
         }
     }
 }
@@ -171,6 +230,19 @@ impl fmt::Display for Message {
                 write!(f, "return n{node} w{watermark} leaving={leaving}")
             }
             Message::ReturnAck { node, watermark } => write!(f, "return-ack n{node} w{watermark}"),
+            Message::VoteRequest { term, candidate, log_len, last_term } => {
+                write!(f, "vote-request t{term} c{candidate} len={log_len} lt{last_term}")
+            }
+            Message::VoteReply { term, voter, granted } => {
+                write!(f, "vote-reply t{term} v{voter} granted={granted}")
+            }
+            Message::Append { term, leader, index, entry, commit, .. } => match entry {
+                Some(e) => write!(f, "append t{term} l{leader} i{index} {} commit={commit}", e.cmd),
+                None => write!(f, "append t{term} l{leader} i{index} heartbeat commit={commit}"),
+            },
+            Message::AppendAck { term, follower, matched, ok } => {
+                write!(f, "append-ack t{term} f{follower} m{matched} ok={ok}")
+            }
         }
     }
 }
@@ -232,6 +304,43 @@ impl Serialize for Message {
                 kind,
                 vec![("node".into(), node.to_value()), ("watermark".into(), watermark.to_value())],
             ),
+            Message::VoteRequest { term, candidate, log_len, last_term } => obj(
+                kind,
+                vec![
+                    ("term".into(), term.to_value()),
+                    ("candidate".into(), candidate.to_value()),
+                    ("log_len".into(), log_len.to_value()),
+                    ("last_term".into(), last_term.to_value()),
+                ],
+            ),
+            Message::VoteReply { term, voter, granted } => obj(
+                kind,
+                vec![
+                    ("term".into(), term.to_value()),
+                    ("voter".into(), voter.to_value()),
+                    ("granted".into(), granted.to_value()),
+                ],
+            ),
+            Message::Append { term, leader, index, prev_term, entry, commit } => obj(
+                kind,
+                vec![
+                    ("term".into(), term.to_value()),
+                    ("leader".into(), leader.to_value()),
+                    ("index".into(), index.to_value()),
+                    ("prev_term".into(), prev_term.to_value()),
+                    ("entry".into(), entry.to_value()),
+                    ("commit".into(), commit.to_value()),
+                ],
+            ),
+            Message::AppendAck { term, follower, matched, ok } => obj(
+                kind,
+                vec![
+                    ("term".into(), term.to_value()),
+                    ("follower".into(), follower.to_value()),
+                    ("matched".into(), matched.to_value()),
+                    ("ok".into(), ok.to_value()),
+                ],
+            ),
         }
     }
 }
@@ -280,6 +389,31 @@ impl Deserialize for Message {
             "return-ack" => Ok(Message::ReturnAck {
                 node: field(value, "node")?,
                 watermark: field(value, "watermark")?,
+            }),
+            "vote-request" => Ok(Message::VoteRequest {
+                term: field(value, "term")?,
+                candidate: field(value, "candidate")?,
+                log_len: field(value, "log_len")?,
+                last_term: field(value, "last_term")?,
+            }),
+            "vote-reply" => Ok(Message::VoteReply {
+                term: field(value, "term")?,
+                voter: field(value, "voter")?,
+                granted: field(value, "granted")?,
+            }),
+            "append" => Ok(Message::Append {
+                term: field(value, "term")?,
+                leader: field(value, "leader")?,
+                index: field(value, "index")?,
+                prev_term: field(value, "prev_term")?,
+                entry: field(value, "entry")?,
+                commit: field(value, "commit")?,
+            }),
+            "append-ack" => Ok(Message::AppendAck {
+                term: field(value, "term")?,
+                follower: field(value, "follower")?,
+                matched: field(value, "matched")?,
+                ok: field(value, "ok")?,
             }),
             other => Err(Error::custom(format!("unknown message kind `{other}`"))),
         }
@@ -369,6 +503,28 @@ mod tests {
             Message::MembershipAck { node: 5, epoch: 4 },
             Message::Return { node: 2, watermark: 99, leaving: true },
             Message::ReturnAck { node: 2, watermark: 99 },
+            Message::VoteRequest { term: 3, candidate: 1 << 32, log_len: 12, last_term: 2 },
+            Message::VoteReply { term: 3, voter: (1 << 32) + 1, granted: true },
+            Message::Append {
+                term: 3,
+                leader: 1 << 32,
+                index: 12,
+                prev_term: 2,
+                entry: Some(crate::replica::LogEntry {
+                    term: 3,
+                    cmd: crate::replica::Command::Lease { node: 2, req_id: 7, want: 16 },
+                }),
+                commit: 11,
+            },
+            Message::Append {
+                term: 3,
+                leader: 1 << 32,
+                index: 13,
+                prev_term: 3,
+                entry: None,
+                commit: 12,
+            },
+            Message::AppendAck { term: 3, follower: (1 << 32) + 2, matched: 13, ok: false },
         ];
         for msg in messages {
             let round = Message::from_value(&msg.to_value()).expect("round trip");

@@ -48,6 +48,10 @@ pub struct ProtocolConfig {
     /// Tree-routed attempts per request before falling back to a
     /// direct send (routes around dead relays).
     pub tree_attempts: u32,
+    /// Replicated coordinator only ([`crate::replica`]): how long a
+    /// follower's append ack keeps counting toward the leader's lease,
+    /// and (doubled, plus a per-replica stagger) the election timeout.
+    pub lease_ticks: u64,
 }
 
 impl Default for ProtocolConfig {
@@ -59,6 +63,7 @@ impl Default for ProtocolConfig {
             lease_quantum: 16,
             max_lease: 256,
             tree_attempts: 2,
+            lease_ticks: 80,
         }
     }
 }
@@ -389,14 +394,18 @@ impl Node {
                     self.sealed_acked = true;
                 }
             }
-            // Coordinator-bound kinds addressed to a worker are
-            // misrouted noise on a faulty network: ignore.
+            // Coordinator-bound and replica-group kinds addressed to a
+            // worker are misrouted noise on a faulty network: ignore.
             Message::LeaseRequest { .. }
             | Message::RecoverQuery { .. }
             | Message::Heartbeat { .. }
             | Message::Join { .. }
             | Message::MembershipAck { .. }
-            | Message::Return { .. } => {}
+            | Message::Return { .. }
+            | Message::VoteRequest { .. }
+            | Message::VoteReply { .. }
+            | Message::Append { .. }
+            | Message::AppendAck { .. } => {}
         }
     }
 

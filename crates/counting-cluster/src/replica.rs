@@ -1,0 +1,1290 @@
+//! The replicated coordinator: a leader-leased quorum log.
+//!
+//! A [`Replica`] group replaces the single durable
+//! [`Coordinator`](crate::coordinator::Coordinator) with 3 or 5 copies of the same
+//! state machine, each applying the same command log. The consensus
+//! core is a deliberately small Raft subset:
+//!
+//! * **terms** — every replica holds a monotonic term; any message from
+//!   a higher term forces a step-down, any from a lower term is inert;
+//! * **single-entry append** — the leader replicates one [`LogEntry`]
+//!   per [`Message::Append`], with the previous entry's term as the
+//!   consistency check, and truncates a follower's conflicting suffix;
+//! * **quorum commit** — an entry is committed once a majority of
+//!   replicas hold it *and* it belongs to the current term (a `Noop`
+//!   barrier appended at election commits any earlier-term tail);
+//! * **leader lease** — the leader may answer clients only while a
+//!   majority of followers acked an append within the last
+//!   [`ProtocolConfig::lease_ticks`] ticks; when the lease lapses, a
+//!   clean leader steps down and stops answering. Lease expiry on the
+//!   follower side (no append for `2 * lease_ticks` plus a per-replica
+//!   stagger) starts the next election.
+//!
+//! Deliberate non-goals, in scope order: no log compaction or snapshots
+//! (the grant log is bounded — sealing truncates it), no dynamic
+//! replica membership (the replica set is fixed at construction), no
+//! pre-vote or leadership transfer.
+//!
+//! Workers never learn any of this: they keep addressing the virtual
+//! [`COORDINATOR`] id 0. The transport (simulated or live) fans those
+//! envelopes out to some replica; a follower forwards them to its
+//! leader hint — except a [`Message::RecoverQuery`] it can answer
+//! *positively* from committed state, which needs no new commit — and
+//! the leader drives every client answer through the log: the grant,
+//! seal, tombstone or membership change is sent only after the entry
+//! commits, so a leader that loses quorum can never hand out state a
+//! successor will not have.
+//!
+//! The durable state machine being replicated is exactly
+//! [`CoordinatorDurable`]; applying a committed [`Command`] calls the
+//! same pure transition helpers the standalone coordinator uses, so a
+//! quorum replaying the same log reaches bit-identical state.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::coordinator::{CoordinatorDurable, LeaseAnswer};
+use crate::message::{next_hop, tree_children, Envelope, Message, NodeId, Outgoing, COORDINATOR};
+use crate::node::ProtocolConfig;
+
+/// Replica ids live far above any worker id: replica `i` is
+/// [`REPLICA_BASE`]` + i`.
+pub const REPLICA_BASE: NodeId = 1 << 32;
+
+/// The transport id of replica `index`.
+#[must_use]
+pub fn replica_id(index: u64) -> NodeId {
+    REPLICA_BASE + index
+}
+
+/// One replicated coordinator command — the log's payload alphabet.
+/// Every variant is idempotent at apply time (re-applying a duplicate
+/// entry re-derives the same answer), which is what makes duplicate
+/// appends and re-proposals safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Serve `LeaseRequest { node, req_id, want }`.
+    Lease {
+        /// Requesting worker.
+        node: NodeId,
+        /// Per-node monotonic request id.
+        req_id: u64,
+        /// Requested block length.
+        want: u64,
+    },
+    /// Serve `Return { node, watermark, leaving }`.
+    Return {
+        /// The sealing worker.
+        node: NodeId,
+        /// Total values the worker ever handed out.
+        watermark: u64,
+        /// Whether the worker leaves the membership.
+        leaving: bool,
+    },
+    /// Admit `node` to the membership (bumps the epoch).
+    Admit {
+        /// The joining worker.
+        node: NodeId,
+    },
+    /// Evict `node` from the membership (failure detector; bumps the
+    /// epoch).
+    Evict {
+        /// The evicted worker.
+        node: NodeId,
+    },
+    /// Answer `RecoverQuery { node, req_id }` with a durable "never
+    /// granted" (unless a grant turns out to be recorded after all).
+    Tombstone {
+        /// Recovering worker.
+        node: NodeId,
+        /// The in-doubt request id.
+        req_id: u64,
+    },
+    /// The term barrier a new leader appends to commit its
+    /// predecessors' tail.
+    Noop,
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Lease { node, req_id, want } => {
+                write!(f, "lease n{node} r{req_id} want={want}")
+            }
+            Command::Return { node, watermark, leaving } => {
+                write!(f, "return n{node} w{watermark} leaving={leaving}")
+            }
+            Command::Admit { node } => write!(f, "admit n{node}"),
+            Command::Evict { node } => write!(f, "evict n{node}"),
+            Command::Tombstone { node, req_id } => write!(f, "tombstone n{node} r{req_id}"),
+            Command::Noop => write!(f, "noop"),
+        }
+    }
+}
+
+impl Serialize for Command {
+    fn to_value(&self) -> Value {
+        let obj = |kind: &str, fields: Vec<(String, Value)>| {
+            let mut entries = vec![("cmd".to_owned(), Value::Str(kind.to_owned()))];
+            entries.extend(fields);
+            Value::Object(entries)
+        };
+        match self {
+            Command::Lease { node, req_id, want } => obj(
+                "lease",
+                vec![
+                    ("node".into(), node.to_value()),
+                    ("req_id".into(), req_id.to_value()),
+                    ("want".into(), want.to_value()),
+                ],
+            ),
+            Command::Return { node, watermark, leaving } => obj(
+                "return",
+                vec![
+                    ("node".into(), node.to_value()),
+                    ("watermark".into(), watermark.to_value()),
+                    ("leaving".into(), leaving.to_value()),
+                ],
+            ),
+            Command::Admit { node } => obj("admit", vec![("node".into(), node.to_value())]),
+            Command::Evict { node } => obj("evict", vec![("node".into(), node.to_value())]),
+            Command::Tombstone { node, req_id } => obj(
+                "tombstone",
+                vec![("node".into(), node.to_value()), ("req_id".into(), req_id.to_value())],
+            ),
+            Command::Noop => obj("noop", vec![]),
+        }
+    }
+}
+
+impl Deserialize for Command {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let field = |name: &str| {
+            value.get(name).ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+        };
+        let kind: String = Deserialize::from_value(field("cmd")?)?;
+        match kind.as_str() {
+            "lease" => Ok(Command::Lease {
+                node: Deserialize::from_value(field("node")?)?,
+                req_id: Deserialize::from_value(field("req_id")?)?,
+                want: Deserialize::from_value(field("want")?)?,
+            }),
+            "return" => Ok(Command::Return {
+                node: Deserialize::from_value(field("node")?)?,
+                watermark: Deserialize::from_value(field("watermark")?)?,
+                leaving: Deserialize::from_value(field("leaving")?)?,
+            }),
+            "admit" => Ok(Command::Admit { node: Deserialize::from_value(field("node")?)? }),
+            "evict" => Ok(Command::Evict { node: Deserialize::from_value(field("node")?)? }),
+            "tombstone" => Ok(Command::Tombstone {
+                node: Deserialize::from_value(field("node")?)?,
+                req_id: Deserialize::from_value(field("req_id")?)?,
+            }),
+            "noop" => Ok(Command::Noop),
+            other => Err(Error::custom(format!("unknown command `{other}`"))),
+        }
+    }
+}
+
+/// One log slot: the command plus the term it was proposed in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The proposing leader's term.
+    pub term: u64,
+    /// The replicated command.
+    pub cmd: Command,
+}
+
+impl Serialize for LogEntry {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![("term".to_owned(), self.term.to_value())];
+        if let Value::Object(fields) = self.cmd.to_value() {
+            entries.extend(fields);
+        }
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for LogEntry {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let term = value.get("term").ok_or_else(|| Error::custom("missing field `term`"))?;
+        Ok(LogEntry { term: Deserialize::from_value(term)?, cmd: Command::from_value(value)? })
+    }
+}
+
+/// What a replica persists across a crash: the Raft trio. The applied
+/// coordinator state is *not* persisted — a restarted replica replays
+/// its log as the leader re-advances its commit index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaDurable {
+    /// Current term.
+    pub term: u64,
+    /// The candidate voted for in `term`, if any.
+    pub voted_for: Option<NodeId>,
+    /// The command log.
+    pub log: Vec<LogEntry>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Role {
+    Follower,
+    Candidate { votes: BTreeSet<NodeId> },
+    Leader,
+}
+
+/// One member of the replicated coordinator group. Sans-IO like every
+/// other state machine in this crate: feed it envelopes and ticks,
+/// drain [`Self::take_outbox`]. See the [module docs](self).
+#[derive(Debug)]
+pub struct Replica {
+    id: NodeId,
+    index: u64,
+    peers: Vec<NodeId>,
+    founders: Vec<NodeId>,
+    config: ProtocolConfig,
+    durable: ReplicaDurable,
+    /// Entries known committed (a count, so also the next apply index).
+    commit: u64,
+    /// Entries applied to `coord` (`== commit` after every event).
+    applied: u64,
+    /// The replicated state machine, at `applied` entries.
+    coord: CoordinatorDurable,
+    role: Role,
+    leader_hint: Option<NodeId>,
+    last_leader_contact: u64,
+    // Leader-only replication bookkeeping.
+    next: BTreeMap<NodeId, u64>,
+    matched: BTreeMap<NodeId, u64>,
+    acked_at: BTreeMap<NodeId, u64>,
+    last_append: Option<u64>,
+    // Leader-only worker-facing volatile state (failure detector and
+    // membership rebroadcast), mirroring the standalone coordinator.
+    last_heard: BTreeMap<NodeId, u64>,
+    worker_acks: BTreeSet<NodeId>,
+    last_broadcast: Option<u64>,
+    outbox: Vec<Outgoing>,
+    /// Calibration mutation: a leader whose lease lapsed keeps serving
+    /// lease requests from its local copy, off the log.
+    split_brain: bool,
+    /// Calibration mutation: the commit (and lease) quorum is 1 — the
+    /// leader's own ack suffices.
+    commit_before_quorum: bool,
+}
+
+impl Replica {
+    /// A fresh replica `index` of a group of `count`, coordinating
+    /// `founders`. All replicas boot as followers; the first election
+    /// fires after the staggered timeout (replica 0 first).
+    #[must_use]
+    pub fn new(index: u64, count: u64, founders: &[NodeId], config: ProtocolConfig) -> Self {
+        Self::restart(
+            index,
+            count,
+            founders,
+            config,
+            ReplicaDurable { term: 0, voted_for: None, log: Vec::new() },
+            0,
+        )
+    }
+
+    /// Rebuilds a replica from its persisted Raft state. The commit
+    /// index and applied coordinator state are volatile: they rebuild
+    /// as the current leader's appends re-advance `commit`.
+    #[must_use]
+    pub fn restart(
+        index: u64,
+        count: u64,
+        founders: &[NodeId],
+        config: ProtocolConfig,
+        durable: ReplicaDurable,
+        now: u64,
+    ) -> Self {
+        Self {
+            id: replica_id(index),
+            index,
+            peers: (0..count).map(replica_id).collect(),
+            founders: founders.to_vec(),
+            config,
+            durable,
+            commit: 0,
+            applied: 0,
+            coord: CoordinatorDurable::initial(founders),
+            role: Role::Follower,
+            leader_hint: None,
+            last_leader_contact: now,
+            next: BTreeMap::new(),
+            matched: BTreeMap::new(),
+            acked_at: BTreeMap::new(),
+            last_append: None,
+            last_heard: BTreeMap::new(),
+            worker_acks: BTreeSet::new(),
+            last_broadcast: None,
+            outbox: Vec::new(),
+            split_brain: false,
+            commit_before_quorum: false,
+        }
+    }
+
+    /// Enables the stale-leader calibration mutation
+    /// ([`crate::sim::Mutation::SplitBrainDoubleGrant`]).
+    pub fn enable_split_brain(&mut self) {
+        self.split_brain = true;
+    }
+
+    /// Enables the minority-commit calibration mutation
+    /// ([`crate::sim::Mutation::CommitBeforeQuorum`]).
+    pub fn enable_commit_before_quorum(&mut self) {
+        self.commit_before_quorum = true;
+    }
+
+    /// This replica's transport id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current term.
+    #[must_use]
+    pub fn term(&self) -> u64 {
+        self.durable.term
+    }
+
+    /// Committed entry count.
+    #[must_use]
+    pub fn commit(&self) -> u64 {
+        self.commit
+    }
+
+    /// Whether this replica currently believes it is the leader.
+    #[must_use]
+    pub fn is_leader(&self) -> bool {
+        matches!(self.role, Role::Leader)
+    }
+
+    /// The applied coordinator state (committed prefix of the log).
+    #[must_use]
+    pub fn coord(&self) -> &CoordinatorDurable {
+        &self.coord
+    }
+
+    /// The state a crash preserves.
+    #[must_use]
+    pub fn durable(&self) -> &ReplicaDurable {
+        &self.durable
+    }
+
+    /// Drains the sends decided since the last call.
+    pub fn take_outbox(&mut self) -> Vec<Outgoing> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn quorum(&self) -> usize {
+        if self.commit_before_quorum {
+            1
+        } else {
+            self.peers.len() / 2 + 1
+        }
+    }
+
+    /// Election timeout: twice the lease, staggered per replica so
+    /// concurrent candidacies (and split votes) are the exception.
+    fn election_timeout(&self) -> u64 {
+        self.config.lease_ticks * 2 + self.index * self.config.heartbeat_every
+    }
+
+    /// Whether a majority acked an append recently enough that no other
+    /// replica can have been elected (their election timeouts exceed
+    /// the lease).
+    fn lease_valid(&self, now: u64) -> bool {
+        let fresh = self
+            .peers
+            .iter()
+            .filter(|&&p| p != self.id)
+            .filter(|&&p| {
+                self.acked_at
+                    .get(&p)
+                    .is_some_and(|&at| now.saturating_sub(at) <= self.config.lease_ticks)
+            })
+            .count();
+        1 + fresh >= self.quorum()
+    }
+
+    fn last_log_term(&self) -> u64 {
+        self.durable.log.last().map_or(0, |e| e.term)
+    }
+
+    /// Advances elections, heartbeats, the leader lease and the worker
+    /// failure detector.
+    pub fn on_tick(&mut self, now: u64) {
+        match &self.role {
+            Role::Follower | Role::Candidate { .. } => {
+                if now.saturating_sub(self.last_leader_contact) >= self.election_timeout() {
+                    self.start_election(now);
+                }
+            }
+            Role::Leader => {
+                if !self.split_brain && !self.lease_valid(now) {
+                    // The lease lapsed: a majority may already be
+                    // electing someone else. Stop answering.
+                    self.role = Role::Follower;
+                    self.leader_hint = None;
+                    self.last_leader_contact = now;
+                    return;
+                }
+                if due(self.last_append, now, self.config.heartbeat_every) {
+                    self.send_appends(now);
+                }
+                self.detect_dead_workers(now);
+                let unacked: Vec<NodeId> = self
+                    .coord
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|w| !self.worker_acks.contains(w))
+                    .collect();
+                if !unacked.is_empty() && due(self.last_broadcast, now, self.config.retry_after) {
+                    for worker in unacked {
+                        self.send_membership_direct(worker);
+                    }
+                    self.last_broadcast = Some(now);
+                }
+            }
+        }
+    }
+
+    fn start_election(&mut self, now: u64) {
+        self.durable.term += 1;
+        self.durable.voted_for = Some(self.id);
+        let mut votes = BTreeSet::new();
+        votes.insert(self.id);
+        self.role = Role::Candidate { votes };
+        self.leader_hint = None;
+        self.last_leader_contact = now;
+        if self.count_vote(self.id) {
+            self.become_leader(now);
+            return;
+        }
+        let msg = Message::VoteRequest {
+            term: self.durable.term,
+            candidate: self.id,
+            log_len: self.durable.log.len() as u64,
+            last_term: self.last_log_term(),
+        };
+        for &peer in &self.peers.clone() {
+            if peer != self.id {
+                self.send_replica(peer, msg.clone());
+            }
+        }
+    }
+
+    /// Records a vote; returns whether the candidacy just won.
+    fn count_vote(&mut self, voter: NodeId) -> bool {
+        let quorum = self.quorum();
+        if let Role::Candidate { votes } = &mut self.role {
+            votes.insert(voter);
+            votes.len() >= quorum
+        } else {
+            false
+        }
+    }
+
+    fn become_leader(&mut self, now: u64) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.next.clear();
+        self.matched.clear();
+        self.acked_at.clear();
+        for &peer in &self.peers {
+            if peer != self.id {
+                self.next.insert(peer, self.durable.log.len() as u64);
+                self.matched.insert(peer, 0);
+                // Lease grace: the election itself proved a quorum is
+                // reachable moments ago.
+                self.acked_at.insert(peer, now);
+            }
+        }
+        // The term barrier: commits every earlier-term entry once
+        // replicated, and gives an otherwise-idle term a commit point.
+        self.durable.log.push(LogEntry { term: self.durable.term, cmd: Command::Noop });
+        self.maybe_advance_commit(now);
+        self.send_appends(now);
+        // Failure-detector grace for every worker, then re-announce the
+        // membership so workers find the new leader's epoch view.
+        for worker in self.coord.members.clone() {
+            self.last_heard.insert(worker, now);
+        }
+        self.worker_acks.clear();
+        self.broadcast_membership(now);
+    }
+
+    fn send_appends(&mut self, now: u64) {
+        for peer in self.peers.clone() {
+            if peer != self.id {
+                self.send_append_to(peer);
+            }
+        }
+        self.last_append = Some(now);
+    }
+
+    fn send_append_to(&mut self, peer: NodeId) {
+        let index = self.next.get(&peer).copied().unwrap_or(0);
+        let index = index.min(self.durable.log.len() as u64);
+        let entry = self.durable.log.get(index as usize).cloned();
+        let prev_term = if index == 0 { 0 } else { self.durable.log[index as usize - 1].term };
+        let msg = Message::Append {
+            term: self.durable.term,
+            leader: self.id,
+            index,
+            prev_term,
+            entry,
+            commit: self.commit,
+        };
+        self.send_replica(peer, msg);
+    }
+
+    /// Any message from a higher term turns this replica into a
+    /// follower of that term. Deliberately does NOT reset the election
+    /// timer: a candidate with a stale log can bump terms forever, and
+    /// if every bump pushed the up-to-date replicas' timeouts back,
+    /// none of them would ever stand. Only a granted vote or a leader's
+    /// append earns the reset.
+    fn observe_term(&mut self, term: u64, _now: u64) {
+        if term > self.durable.term {
+            self.durable.term = term;
+            self.durable.voted_for = None;
+            self.role = Role::Follower;
+            self.leader_hint = None;
+        }
+    }
+
+    /// Handles one delivered envelope: replica traffic when addressed
+    /// to this replica, client traffic when addressed to the virtual
+    /// coordinator, a tree relay otherwise.
+    pub fn on_message(&mut self, now: u64, env: Envelope) {
+        if env.dst == self.id {
+            self.on_replica_message(now, env.src, env.msg);
+        } else if env.dst == COORDINATOR {
+            self.on_client_message(now, env);
+        } else {
+            // Worker-bound relay hop: forward down the worker tree.
+            let members = self.member_list();
+            let hop = next_hop(&members, COORDINATOR, env.dst).unwrap_or(env.dst);
+            self.outbox.push(Outgoing { hop, env });
+        }
+    }
+
+    fn on_replica_message(&mut self, now: u64, src: NodeId, msg: Message) {
+        match msg {
+            Message::VoteRequest { term, candidate, log_len, last_term } => {
+                self.observe_term(term, now);
+                let up_to_date =
+                    (last_term, log_len) >= (self.last_log_term(), self.durable.log.len() as u64);
+                let granted = term == self.durable.term
+                    && self.durable.voted_for.is_none_or(|v| v == candidate)
+                    && up_to_date
+                    && !matches!(self.role, Role::Leader);
+                if granted {
+                    self.durable.voted_for = Some(candidate);
+                    self.last_leader_contact = now;
+                }
+                self.send_replica(
+                    candidate,
+                    Message::VoteReply { term: self.durable.term, voter: self.id, granted },
+                );
+            }
+            Message::VoteReply { term, voter, granted } => {
+                self.observe_term(term, now);
+                if granted && term == self.durable.term && self.count_vote(voter) {
+                    self.become_leader(now);
+                }
+            }
+            Message::Append { term, leader, index, prev_term, entry, commit } => {
+                if term < self.durable.term {
+                    self.send_replica(
+                        src,
+                        Message::AppendAck {
+                            term: self.durable.term,
+                            follower: self.id,
+                            matched: self.commit,
+                            ok: false,
+                        },
+                    );
+                    return;
+                }
+                self.observe_term(term, now);
+                // An equal-term append is the term's leader speaking: a
+                // candidate of the same term concedes.
+                if !matches!(self.role, Role::Follower) {
+                    self.role = Role::Follower;
+                }
+                self.leader_hint = Some(leader);
+                self.last_leader_contact = now;
+                let log_len = self.durable.log.len() as u64;
+                let consistent = index <= log_len
+                    && (index == 0 || self.durable.log[index as usize - 1].term == prev_term);
+                if !consistent {
+                    self.send_replica(
+                        leader,
+                        Message::AppendAck {
+                            term: self.durable.term,
+                            follower: self.id,
+                            matched: self.commit,
+                            ok: false,
+                        },
+                    );
+                    return;
+                }
+                let mut matched_here = index;
+                if let Some(entry) = entry {
+                    if (index as usize) < self.durable.log.len() {
+                        if self.durable.log[index as usize].term != entry.term {
+                            self.truncate_log(index);
+                            self.durable.log.push(entry);
+                        }
+                        // Same term at the same index: already present.
+                    } else {
+                        self.durable.log.push(entry);
+                    }
+                    matched_here = index + 1;
+                }
+                let new_commit = commit.min(matched_here);
+                if new_commit > self.commit {
+                    self.commit = new_commit;
+                    self.advance_apply(now);
+                }
+                self.send_replica(
+                    leader,
+                    Message::AppendAck {
+                        term: self.durable.term,
+                        follower: self.id,
+                        matched: matched_here,
+                        ok: true,
+                    },
+                );
+            }
+            Message::AppendAck { term, follower, matched, ok } => {
+                self.observe_term(term, now);
+                if !matches!(self.role, Role::Leader) || term != self.durable.term {
+                    return;
+                }
+                self.acked_at.insert(follower, now);
+                if ok {
+                    let have = self.matched.get(&follower).copied().unwrap_or(0);
+                    if matched > have {
+                        self.matched.insert(follower, matched);
+                    }
+                    let next = self.next.entry(follower).or_insert(0);
+                    *next = (*next).max(matched);
+                    self.maybe_advance_commit(now);
+                } else {
+                    // The follower's committed prefix always matches:
+                    // resume from its hint.
+                    self.next.insert(follower, matched);
+                }
+                if self.next.get(&follower).copied().unwrap_or(0) < self.durable.log.len() as u64 {
+                    self.send_append_to(follower);
+                }
+            }
+            // Client kinds addressed to a replica id are misrouted
+            // noise: ignore.
+            _ => {}
+        }
+    }
+
+    /// Truncates the log to `keep` entries. When the applied prefix
+    /// reached past the cut (only possible when a commit was taken
+    /// without a real quorum), the coordinator state is rebuilt by
+    /// replaying the surviving committed prefix.
+    fn truncate_log(&mut self, keep: u64) {
+        self.durable.log.truncate(keep as usize);
+        self.commit = self.commit.min(keep);
+        if self.applied > keep {
+            self.coord = CoordinatorDurable::initial(&self.founders);
+            self.applied = 0;
+            let replay = self.commit;
+            self.commit = 0;
+            for i in 0..replay {
+                let cmd = self.durable.log[i as usize].cmd.clone();
+                self.commit = i + 1;
+                self.apply_one(0, cmd, false);
+                self.applied = i + 1;
+            }
+        }
+    }
+
+    fn maybe_advance_commit(&mut self, now: u64) {
+        // The leader's own log always matches itself; collect every
+        // replica's matched length and take the quorum-th largest.
+        let mut lens: Vec<u64> = self.matched.values().copied().collect();
+        lens.push(self.durable.log.len() as u64);
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        let candidate = lens.get(self.quorum() - 1).copied().unwrap_or(0);
+        // Only entries of the current term commit by counting — the
+        // Raft commit rule; earlier terms ride along underneath.
+        if candidate > self.commit
+            && self.durable.log[candidate as usize - 1].term == self.durable.term
+        {
+            self.commit = candidate;
+            self.advance_apply(now);
+        }
+    }
+
+    fn advance_apply(&mut self, now: u64) {
+        while self.applied < self.commit {
+            let cmd = self.durable.log[self.applied as usize].cmd.clone();
+            self.applied += 1;
+            let respond = matches!(self.role, Role::Leader);
+            self.apply_one(now, cmd, respond);
+        }
+    }
+
+    /// Applies one committed command to the coordinator state. Only the
+    /// leader answers clients (`respond`); followers apply silently, so
+    /// every answer a worker sees is backed by a committed entry.
+    fn apply_one(&mut self, now: u64, cmd: Command, respond: bool) {
+        match cmd {
+            Command::Lease { node, req_id, want } => {
+                let reply = match self.coord.lease_answer(node, req_id, false) {
+                    Some(LeaseAnswer::Regrant(block)) => {
+                        Message::LeaseGrant { node, req_id, base: block.base, len: block.len }
+                    }
+                    Some(LeaseAnswer::Refused) => Message::RecoverNone { node, req_id },
+                    None => {
+                        let block = self.coord.lease_grant(node, req_id, want);
+                        Message::LeaseGrant { node, req_id, base: block.base, len: block.len }
+                    }
+                };
+                if respond {
+                    self.send_worker(node, reply);
+                }
+            }
+            Command::Return { node, watermark, leaving } => {
+                // No over-claim assert here: a replayed log can shrink
+                // grants under a calibration mutation — the global
+                // checker owns that verdict.
+                let _ = self.coord.seal(node, watermark);
+                if leaving && self.coord.evict(node) {
+                    self.coord.bump_epoch();
+                    if respond {
+                        self.epoch_changed(now);
+                    }
+                }
+                if respond {
+                    self.send_worker(node, Message::ReturnAck { node, watermark });
+                }
+            }
+            Command::Admit { node } => {
+                if self.coord.admit(node) {
+                    self.last_heard.entry(node).or_insert(now);
+                    if respond {
+                        self.epoch_changed(now);
+                        self.send_membership_direct(node);
+                    }
+                }
+            }
+            Command::Evict { node } => {
+                if self.coord.evict(node) {
+                    self.coord.bump_epoch();
+                    self.last_heard.remove(&node);
+                    if respond {
+                        self.epoch_changed(now);
+                    }
+                }
+            }
+            Command::Tombstone { node, req_id } => {
+                if let Some(block) = self.coord.grants.get(&(node, req_id)).copied() {
+                    // A grant was recorded after all (the query raced a
+                    // concurrent lease commit): re-send it instead.
+                    if respond {
+                        self.send_worker(
+                            node,
+                            Message::LeaseGrant { node, req_id, base: block.base, len: block.len },
+                        );
+                    }
+                } else {
+                    self.coord.tombstone(node, req_id);
+                    if respond {
+                        self.send_worker(node, Message::RecoverNone { node, req_id });
+                    }
+                }
+            }
+            Command::Noop => {}
+        }
+    }
+
+    fn on_client_message(&mut self, now: u64, env: Envelope) {
+        if !matches!(self.role, Role::Leader) {
+            // Read-only recovery: a recorded grant in committed state
+            // is a final answer any replica may give.
+            if let Message::RecoverQuery { node, req_id } = env.msg {
+                if let Some(block) = self.coord.grants.get(&(node, req_id)).copied() {
+                    self.send_worker(
+                        node,
+                        Message::LeaseGrant { node, req_id, base: block.base, len: block.len },
+                    );
+                    return;
+                }
+            }
+            // Everything else goes to the leader; with no hint the
+            // message drops and the worker's retry finds a luckier
+            // replica.
+            if let Some(leader) = self.leader_hint {
+                if leader != self.id {
+                    self.outbox.push(Outgoing { hop: leader, env });
+                }
+            }
+            return;
+        }
+        match env.msg {
+            Message::LeaseRequest { node, req_id, want } => {
+                // Committed fast paths: answers that need no new entry.
+                if self.coord.tombstones.contains(&(node, req_id)) {
+                    self.send_worker(node, Message::RecoverNone { node, req_id });
+                    return;
+                }
+                if let Some(block) = self.coord.grants.get(&(node, req_id)).copied() {
+                    self.send_worker(
+                        node,
+                        Message::LeaseGrant { node, req_id, base: block.base, len: block.len },
+                    );
+                    return;
+                }
+                if self.split_brain && !self.lease_valid(now) {
+                    // MUTATION: the stale leader answers off the log —
+                    // its local copy diverges from the quorum's and two
+                    // leaders allocate the same values.
+                    self.apply_one(now, Command::Lease { node, req_id, want }, true);
+                    return;
+                }
+                self.propose(now, Command::Lease { node, req_id, want });
+            }
+            Message::RecoverQuery { node, req_id } => {
+                if let Some(block) = self.coord.grants.get(&(node, req_id)).copied() {
+                    self.send_worker(
+                        node,
+                        Message::LeaseGrant { node, req_id, base: block.base, len: block.len },
+                    );
+                } else {
+                    // "Never granted" must be durable before it is
+                    // spoken: commit the tombstone first.
+                    self.propose(now, Command::Tombstone { node, req_id });
+                }
+            }
+            Message::Heartbeat { node, epoch } => {
+                self.last_heard.insert(node, now);
+                if !self.coord.members.contains(&node) {
+                    if !self.coord.sealed.contains_key(&node) {
+                        self.propose(now, Command::Admit { node });
+                    }
+                } else if epoch < self.coord.epoch {
+                    self.send_membership_direct(node);
+                }
+            }
+            Message::Join { node } => {
+                self.last_heard.insert(node, now);
+                if self.coord.members.contains(&node) {
+                    self.send_membership_direct(node);
+                } else if !self.coord.sealed.contains_key(&node) {
+                    self.propose(now, Command::Admit { node });
+                }
+            }
+            Message::Return { node, watermark, leaving } => {
+                let sealed_at = self.coord.sealed.get(&node).copied();
+                let done = sealed_at.is_some_and(|w| w >= watermark)
+                    && (!leaving || !self.coord.members.contains(&node));
+                if done {
+                    // Already committed: a duplicate Return re-acks
+                    // without a new entry.
+                    self.send_worker(node, Message::ReturnAck { node, watermark });
+                } else {
+                    self.propose(now, Command::Return { node, watermark, leaving });
+                }
+            }
+            Message::MembershipAck { node, epoch }
+                if epoch == self.coord.epoch && self.coord.members.contains(&node) =>
+            {
+                self.worker_acks.insert(node);
+            }
+            // Worker-bound kinds and replica kinds addressed to the
+            // virtual coordinator are noise: ignore.
+            _ => {}
+        }
+    }
+
+    /// Appends a command to the log unless an equal command is already
+    /// pending (proposed, not yet applied), then pushes it to the
+    /// followers whose logs were caught up.
+    fn propose(&mut self, now: u64, cmd: Command) {
+        let pending = self.durable.log[self.applied as usize..].iter().any(|e| e.cmd == cmd);
+        if pending {
+            return;
+        }
+        self.durable.log.push(LogEntry { term: self.durable.term, cmd });
+        let tail = self.durable.log.len() as u64 - 1;
+        for peer in self.peers.clone() {
+            if peer != self.id && self.next.get(&peer).copied().unwrap_or(0) == tail {
+                self.send_append_to(peer);
+            }
+        }
+        // A single-replica group (or the quorum-of-one mutation)
+        // commits its own append immediately.
+        self.maybe_advance_commit(now);
+    }
+
+    fn detect_dead_workers(&mut self, now: u64) {
+        let dead: Vec<NodeId> = self
+            .coord
+            .members
+            .iter()
+            .copied()
+            .filter(|worker| {
+                let heard = self.last_heard.get(worker).copied().unwrap_or(0);
+                now.saturating_sub(heard) >= self.config.fail_after
+            })
+            .collect();
+        for worker in dead {
+            self.propose(now, Command::Evict { node: worker });
+        }
+    }
+
+    /// The volatile half of a committed epoch change, leader only.
+    fn epoch_changed(&mut self, now: u64) {
+        self.worker_acks.clear();
+        self.broadcast_membership(now);
+    }
+
+    fn broadcast_membership(&mut self, now: u64) {
+        let members = self.member_list();
+        let msg = Message::Membership { epoch: self.coord.epoch, members: members.clone() };
+        for child in tree_children(&members, COORDINATOR) {
+            self.outbox.push(Outgoing {
+                hop: child,
+                env: Envelope { src: COORDINATOR, dst: child, msg: msg.clone() },
+            });
+        }
+        self.last_broadcast = Some(now);
+    }
+
+    fn send_membership_direct(&mut self, worker: NodeId) {
+        let msg = Message::Membership { epoch: self.coord.epoch, members: self.member_list() };
+        self.send_worker(worker, msg);
+    }
+
+    /// The worker-facing member list: the virtual coordinator id plus
+    /// the current workers (replica ids never appear in it).
+    fn member_list(&self) -> Vec<NodeId> {
+        let mut list = vec![COORDINATOR];
+        list.extend(self.coord.members.iter().copied());
+        list
+    }
+
+    /// Direct send to a worker, speaking as the virtual coordinator.
+    fn send_worker(&mut self, to: NodeId, msg: Message) {
+        self.outbox.push(Outgoing { hop: to, env: Envelope { src: COORDINATOR, dst: to, msg } });
+    }
+
+    fn send_replica(&mut self, to: NodeId, msg: Message) {
+        self.outbox.push(Outgoing { hop: to, env: Envelope { src: self.id, dst: to, msg } });
+    }
+}
+
+fn due(last: Option<u64>, now: u64, every: u64) -> bool {
+    last.is_none_or(|t| now.saturating_sub(t) >= every)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Block;
+
+    fn drain(replicas: &mut [Replica]) -> Vec<Outgoing> {
+        replicas.iter_mut().flat_map(Replica::take_outbox).collect()
+    }
+
+    /// Delivers every replica-addressed envelope until the group goes
+    /// quiet; worker-addressed envelopes are returned. A hop addressed
+    /// to a replica not in the slice is dropped (a partition).
+    fn settle(replicas: &mut [Replica], now: u64, mut pending: Vec<Outgoing>) -> Vec<Outgoing> {
+        let mut to_workers = Vec::new();
+        loop {
+            let mut next = Vec::new();
+            for out in pending {
+                if out.hop >= REPLICA_BASE {
+                    if let Some(r) = replicas.iter_mut().find(|r| r.id() == out.hop) {
+                        r.on_message(now, out.env);
+                        next.extend(r.take_outbox());
+                    }
+                } else {
+                    to_workers.push(out);
+                }
+            }
+            if next.is_empty() {
+                return to_workers;
+            }
+            pending = next;
+        }
+    }
+
+    fn elect_leader(replicas: &mut [Replica], now: u64) -> usize {
+        let timeout = replicas[0].election_timeout();
+        for r in replicas.iter_mut() {
+            r.on_tick(now + timeout);
+        }
+        let outs = drain(replicas);
+        settle(replicas, now + timeout, outs);
+        replicas.iter().position(Replica::is_leader).expect("a leader emerges")
+    }
+
+    fn group(count: u64) -> Vec<Replica> {
+        (0..count).map(|i| Replica::new(i, count, &[1, 2], ProtocolConfig::default())).collect()
+    }
+
+    fn client(replicas: &mut [Replica], leader: usize, now: u64, msg: Message) -> Vec<Outgoing> {
+        let env = Envelope { src: 1, dst: COORDINATOR, msg };
+        replicas[leader].on_message(now, env);
+        let outs = drain(replicas);
+        settle(replicas, now, outs)
+    }
+
+    #[test]
+    fn the_staggered_timeout_elects_replica_zero_first() {
+        let mut rs = group(3);
+        let leader = elect_leader(&mut rs, 0);
+        assert_eq!(leader, 0);
+        assert_eq!(rs[0].term(), 1);
+        assert_eq!(rs[0].commit(), 1, "the noop barrier committed");
+        assert!(rs.iter().skip(1).all(|r| !r.is_leader()));
+    }
+
+    #[test]
+    fn a_lease_is_granted_only_after_the_entry_commits() {
+        let mut rs = group(3);
+        let leader = elect_leader(&mut rs, 0);
+        let t = rs[0].election_timeout() + 1;
+        let outs =
+            client(&mut rs, leader, t, Message::LeaseRequest { node: 1, req_id: 0, want: 16 });
+        let grant = outs.iter().find_map(|o| match o.env.msg {
+            Message::LeaseGrant { node, req_id, base, len } => {
+                Some((node, req_id, Block { base, len }))
+            }
+            _ => None,
+        });
+        assert_eq!(grant, Some((1, 0, Block { base: 0, len: 16 })));
+        // Every replica applied the committed entry identically.
+        for r in rs.iter().filter(|r| r.commit() == rs[leader].commit()) {
+            assert_eq!(r.coord().grants.get(&(1, 0)), Some(&Block { base: 0, len: 16 }));
+        }
+        // A duplicate request re-grants the same block off the fast
+        // path without a new log entry.
+        let log_len = rs[leader].durable().log.len();
+        let outs =
+            client(&mut rs, leader, t + 1, Message::LeaseRequest { node: 1, req_id: 0, want: 16 });
+        assert!(outs.iter().any(|o| matches!(
+            o.env.msg,
+            Message::LeaseGrant { node: 1, req_id: 0, base: 0, len: 16 }
+        )));
+        assert_eq!(rs[leader].durable().log.len(), log_len);
+    }
+
+    #[test]
+    fn followers_answer_recover_queries_read_only() {
+        let mut rs = group(3);
+        let leader = elect_leader(&mut rs, 0);
+        let t = rs[0].election_timeout() + 1;
+        client(&mut rs, leader, t, Message::LeaseRequest { node: 1, req_id: 0, want: 8 });
+        // The next heartbeat carries the advanced commit index to the
+        // followers, which then apply the grant.
+        let t = t + ProtocolConfig::default().heartbeat_every;
+        rs[leader].on_tick(t);
+        let outs = drain(&mut rs);
+        settle(&mut rs, t, outs);
+        // A follower holds the committed grant and answers directly.
+        let follower = (leader + 1) % 3;
+        assert!(!rs[follower].is_leader());
+        rs[follower].on_message(
+            t + 1,
+            Envelope {
+                src: 1,
+                dst: COORDINATOR,
+                msg: Message::RecoverQuery { node: 1, req_id: 0 },
+            },
+        );
+        let outs = rs[follower].take_outbox();
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o.env.msg, Message::LeaseGrant { node: 1, req_id: 0, .. })));
+        // A miss is forwarded to the leader (tombstoning needs commit).
+        rs[follower].on_message(
+            t + 2,
+            Envelope {
+                src: 1,
+                dst: COORDINATOR,
+                msg: Message::RecoverQuery { node: 1, req_id: 9 },
+            },
+        );
+        let outs = rs[follower].take_outbox();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].hop, rs[leader].id());
+    }
+
+    #[test]
+    fn lease_expiry_steps_the_leader_down_and_a_new_term_takes_over() {
+        let mut rs = group(3);
+        let leader = elect_leader(&mut rs, 0);
+        assert_eq!(leader, 0);
+        let config = ProtocolConfig::default();
+        // Silence: no acks arrive past the lease window. The leader
+        // steps down instead of answering stale.
+        let t = rs[0].election_timeout() + config.lease_ticks + config.heartbeat_every + 1;
+        rs[0].on_tick(t);
+        assert!(!rs[0].is_leader(), "lapsed lease forces step-down");
+        // Replica 1's timeout fires next; the others grant its vote.
+        let t2 = t + rs[1].election_timeout() + 1;
+        rs[1].on_tick(t2);
+        let outs = rs[1].take_outbox();
+        settle(&mut rs, t2, outs);
+        assert!(rs[1].is_leader(), "the next stagger slot wins the new term");
+        assert!(rs[1].term() > 1);
+    }
+
+    #[test]
+    fn a_restarted_replica_replays_its_log_into_the_same_state() {
+        let mut rs = group(3);
+        let leader = elect_leader(&mut rs, 0);
+        let t = rs[0].election_timeout() + 1;
+        client(&mut rs, leader, t, Message::LeaseRequest { node: 1, req_id: 0, want: 8 });
+        client(&mut rs, leader, t + 1, Message::LeaseRequest { node: 2, req_id: 0, want: 8 });
+        client(&mut rs, leader, t + 2, Message::Return { node: 2, watermark: 3, leaving: false });
+        let reference = rs[leader].coord().clone();
+        // Crash replica 2, restart from its durable log, and let the
+        // leader's next heartbeat re-advance its commit.
+        let durable = rs[2].durable().clone();
+        rs[2] = Replica::restart(2, 3, &[1, 2], ProtocolConfig::default(), durable, t + 3);
+        assert_eq!(rs[2].commit(), 0, "commit is volatile");
+        rs[leader].on_tick(t + 3 + ProtocolConfig::default().heartbeat_every);
+        let outs = drain(&mut rs);
+        settle(&mut rs, t + 4, outs);
+        assert_eq!(rs[2].coord(), &reference, "replay reaches bit-identical state");
+    }
+
+    #[test]
+    fn split_brain_mutation_double_grants_and_clean_protocol_does_not() {
+        // Partition the elected leader away from both followers, expire
+        // its lease, then elect a new leader on the majority side.
+        let run = |mutated: bool| -> (Block, Block) {
+            let mut rs = group(3);
+            let leader = elect_leader(&mut rs, 0);
+            assert_eq!(leader, 0);
+            if mutated {
+                rs[0].enable_split_brain();
+            }
+            let t = rs[0].election_timeout() + ProtocolConfig::default().lease_ticks * 2;
+            // The stale side: replica 0 alone, lease long expired.
+            rs[0].on_tick(t);
+            rs[0].on_message(
+                t,
+                Envelope {
+                    src: 1,
+                    dst: COORDINATOR,
+                    msg: Message::LeaseRequest { node: 1, req_id: 0, want: 8 },
+                },
+            );
+            let stale = rs[0]
+                .take_outbox()
+                .iter()
+                .find_map(|o| match o.env.msg {
+                    Message::LeaseGrant { base, len, .. } => Some(Block { base, len }),
+                    _ => None,
+                })
+                .unwrap_or(Block { base: u64::MAX, len: 0 });
+            // The majority side elects replica 1 and serves worker 2.
+            let t2 = t + rs[1].election_timeout() + 1;
+            rs[1].on_tick(t2);
+            let outs = rs[1].take_outbox();
+            let outs: Vec<Outgoing> = outs.into_iter().filter(|o| o.hop != replica_id(0)).collect();
+            settle(&mut rs[1..], t2, outs).into_iter().for_each(drop);
+            assert!(rs[1].is_leader());
+            rs[1].on_message(
+                t2 + 1,
+                Envelope {
+                    src: 2,
+                    dst: COORDINATOR,
+                    msg: Message::LeaseRequest { node: 2, req_id: 0, want: 8 },
+                },
+            );
+            let outs = rs[1].take_outbox();
+            let outs: Vec<Outgoing> = outs.into_iter().filter(|o| o.hop != replica_id(0)).collect();
+            let answers = settle(&mut rs[1..], t2 + 1, outs);
+            let fresh = answers
+                .iter()
+                .find_map(|o| match o.env.msg {
+                    Message::LeaseGrant { base, len, .. } => Some(Block { base, len }),
+                    _ => None,
+                })
+                .expect("the majority leader grants");
+            (stale, fresh)
+        };
+        let (stale, fresh) = run(true);
+        assert_eq!(stale, fresh, "the mutation hands the same block to two workers");
+        let (stale, fresh) = run(false);
+        assert_eq!(stale.len, 0, "the clean stale leader refuses to answer");
+        assert_ne!(stale, fresh);
+    }
+
+    #[test]
+    fn commit_before_quorum_mutation_loses_its_suffix_on_heal() {
+        let mut rs = group(3);
+        let leader = elect_leader(&mut rs, 0);
+        rs[0].enable_commit_before_quorum();
+        let t = rs[0].election_timeout() + 1;
+        // Isolated: the mutated leader commits with no acks at all.
+        rs[leader].on_message(
+            t,
+            Envelope {
+                src: 1,
+                dst: COORDINATOR,
+                msg: Message::LeaseRequest { node: 1, req_id: 0, want: 8 },
+            },
+        );
+        let outs = rs[0].take_outbox();
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o.env.msg, Message::LeaseGrant { node: 1, req_id: 0, .. })));
+        assert!(rs[0].coord().grants.contains_key(&(1, 0)));
+        // The majority elects replica 1 in a later term; its appends
+        // truncate the minority-committed suffix and the grant is gone.
+        let t2 = t + rs[1].election_timeout() + ProtocolConfig::default().lease_ticks * 2;
+        rs[1].on_tick(t2);
+        let outs = rs[1].take_outbox();
+        settle(&mut rs, t2, outs);
+        assert!(rs[1].is_leader());
+        rs[1].on_tick(t2 + ProtocolConfig::default().heartbeat_every);
+        let outs = rs[1].take_outbox();
+        settle(&mut rs, t2 + 1, outs);
+        assert!(
+            !rs[0].coord().grants.contains_key(&(1, 0)),
+            "the un-quorumed grant vanished from the healed log"
+        );
+        assert_eq!(rs[0].coord(), rs[1].coord());
+    }
+
+    #[test]
+    fn log_entries_round_trip_through_serde() {
+        let entries = vec![
+            LogEntry { term: 1, cmd: Command::Lease { node: 1, req_id: 2, want: 16 } },
+            LogEntry { term: 2, cmd: Command::Return { node: 1, watermark: 9, leaving: true } },
+            LogEntry { term: 2, cmd: Command::Admit { node: 7 } },
+            LogEntry { term: 3, cmd: Command::Evict { node: 7 } },
+            LogEntry { term: 3, cmd: Command::Tombstone { node: 1, req_id: 4 } },
+            LogEntry { term: 4, cmd: Command::Noop },
+        ];
+        for entry in entries {
+            let round = LogEntry::from_value(&entry.to_value()).expect("round trip");
+            assert_eq!(round, entry);
+            assert!(!format!("{}", entry.cmd).is_empty());
+        }
+        assert!(Command::from_value(&Value::Null).is_err());
+    }
+}

@@ -23,12 +23,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use counting_sim::des::{EventQueue, FaultPlan, SimRng};
+use counting_sim::des::{EventQueue, FaultPlan, PartitionWindow, SimRng};
 
 use crate::check::GlobalChecker;
-use crate::coordinator::Coordinator;
+use crate::coordinator::{Coordinator, CoordinatorDurable};
 use crate::message::{Envelope, NodeId, Outgoing, COORDINATOR};
 use crate::node::{Node, NodeDurable, ProtocolConfig};
+use crate::replica::{replica_id, Replica, ReplicaDurable, REPLICA_BASE};
 
 /// A deliberately-injected protocol bug, used to calibrate the checker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,9 +44,26 @@ pub enum Mutation {
     /// grant/hand-out mismatch when the first block was partly
     /// consumed).
     GrantNoDedup,
+    /// Replicated mode: a leader whose lease lapsed keeps serving lease
+    /// requests from its local state, off the log — a partition makes
+    /// two leaders allocate the same blocks, caught online as a
+    /// uniqueness violation.
+    SplitBrainDoubleGrant,
+    /// Replicated mode: the leader treats its own ack as a commit
+    /// quorum; a partitioned minority leader's grants are truncated
+    /// away on heal — caught at quiescence as exact-range violations.
+    CommitBeforeQuorum,
 }
 
 impl Mutation {
+    /// Every calibration mutation, in flag order.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::SkipRecovery,
+        Mutation::GrantNoDedup,
+        Mutation::SplitBrainDoubleGrant,
+        Mutation::CommitBeforeQuorum,
+    ];
+
     /// The stable flag string naming this mutation on the `exp_cluster`
     /// command line.
     #[must_use]
@@ -53,17 +71,15 @@ impl Mutation {
         match self {
             Mutation::SkipRecovery => "skip-recovery",
             Mutation::GrantNoDedup => "grant-no-dedup",
+            Mutation::SplitBrainDoubleGrant => "split-brain-double-grant",
+            Mutation::CommitBeforeQuorum => "commit-before-quorum",
         }
     }
 
     /// Parses [`Self::flag`].
     #[must_use]
     pub fn parse(flag: &str) -> Option<Self> {
-        match flag {
-            "skip-recovery" => Some(Mutation::SkipRecovery),
-            "grant-no-dedup" => Some(Mutation::GrantNoDedup),
-            _ => None,
-        }
+        Self::ALL.into_iter().find(|m| m.flag() == flag)
     }
 }
 
@@ -84,6 +100,17 @@ pub struct ClusterSimConfig {
     pub joins: u64,
     /// Graceful leaves scheduled mid-run.
     pub leaves: u64,
+    /// Coordinator replicas: `<= 1` runs the single durable
+    /// coordinator, `>= 2` the replicated quorum log
+    /// ([`crate::replica`]; 3 or 5 are the realistic sizes).
+    pub replicas: u64,
+    /// Replica crash events scheduled (each with a deterministic
+    /// restart); replicated mode only.
+    pub replica_crashes: u64,
+    /// Partition windows scheduled, each isolating one replica from the
+    /// rest of the group (workers keep reaching both sides — the
+    /// split-brain shape); replicated mode only.
+    pub partitions: u64,
     /// Protocol timing/sizing.
     pub protocol: ProtocolConfig,
     /// The injected calibration bug, if any.
@@ -105,6 +132,9 @@ impl Default for ClusterSimConfig {
             crashes: 2,
             joins: 1,
             leaves: 1,
+            replicas: 1,
+            replica_crashes: 0,
+            partitions: 0,
             protocol: ProtocolConfig::default(),
             mutation: None,
             max_events: 2_000_000,
@@ -122,7 +152,8 @@ pub struct TraceEvent {
     /// Deterministic sequence number within the run.
     pub seq: u64,
     /// Event kind (`send`, `drop`, `dup`, `deliver`, `lost`, `handout`,
-    /// `crash`, `restart`, `join`, `leave`, `drain`, `violation`).
+    /// `crash`, `restart`, `join`, `leave`, `drain`, `violation`,
+    /// `sever`, `replica-crash`, `replica-restart`).
     pub kind: String,
     /// The node the event concerns.
     pub node: u64,
@@ -166,6 +197,12 @@ pub struct SimStats {
     pub demand_skipped: u64,
     /// Total events processed.
     pub events: u64,
+    /// Hops cut by an active partition window.
+    pub severed: u64,
+    /// Replica crash events that fired (replicated mode).
+    pub replica_crashes: u64,
+    /// Replica restart events that fired (replicated mode).
+    pub replica_restarts: u64,
 }
 
 /// The outcome of one simulated run.
@@ -203,6 +240,8 @@ enum Ev {
     Restart { node: NodeId },
     Join { node: NodeId },
     Leave { node: NodeId },
+    ReplicaCrash { index: u64 },
+    ReplicaRestart { index: u64 },
     Drain,
 }
 
@@ -213,18 +252,37 @@ enum Slot {
     Down(NodeDurable),
 }
 
+/// A replica slot: up, or down holding the state a crash preserves.
+enum ReplicaSlot {
+    Up(Box<Replica>),
+    Down(ReplicaDurable),
+}
+
+/// The coordination side of the cluster: one durable coordinator, or a
+/// replicated group behind the virtual coordinator id.
+enum Control {
+    Single(Box<Coordinator>),
+    Replicated {
+        replicas: std::collections::BTreeMap<u64, ReplicaSlot>,
+        /// Round-robin cursor fanning coordinator-addressed hops over
+        /// the group.
+        rotation: u64,
+    },
+}
+
 /// Global tick granularity: every state machine sees time advance in
 /// steps of this many virtual ticks.
 const TICK_EVERY: u64 = 5;
 
 struct Harness {
     config: ClusterSimConfig,
-    coordinator: Coordinator,
+    control: Control,
     slots: std::collections::BTreeMap<NodeId, Slot>,
     left: std::collections::BTreeSet<NodeId>,
     queue: EventQueue<Ev>,
     fault_rng: SimRng,
     active_fault: FaultPlan,
+    partitions: Vec<PartitionWindow>,
     checker: GlobalChecker,
     violations: Vec<String>,
     stats: SimStats,
@@ -243,25 +301,41 @@ impl Harness {
         self.trace.push(TraceEvent { at, seq, kind: kind.to_owned(), node, info });
     }
 
-    /// Routes one outgoing hop through the fault plan.
-    fn transmit(&mut self, now: u64, out: Outgoing) {
+    /// Routes one outgoing hop through the partition schedule and the
+    /// fault plan. `from` is the physical sender (a worker id, the
+    /// coordinator, or a replica id) — partitions cut physical links.
+    fn transmit(&mut self, now: u64, from: NodeId, out: Outgoing) {
+        let mut hop = out.hop;
+        if hop == COORDINATOR {
+            if let Control::Replicated { replicas, rotation } = &mut self.control {
+                // The virtual coordinator id fans out round-robin over
+                // the group; a follower forwards to its leader hint.
+                hop = replica_id(*rotation % replicas.len() as u64);
+                *rotation += 1;
+            }
+        }
         self.stats.sent += 1;
-        self.record(now, "send", out.env.src, format!("hop n{}: {}", out.hop, out.env.msg));
+        self.record(now, "send", out.env.src, format!("hop n{}: {}", hop, out.env.msg));
+        if self.partitions.iter().any(|w| w.severs(now, from, hop)) {
+            self.stats.severed += 1;
+            self.record(now, "sever", out.env.src, format!("hop n{}: {}", hop, out.env.msg));
+            return;
+        }
         let delays = self.active_fault.decide(&mut self.fault_rng);
         match delays.len() {
             0 => {
                 self.stats.dropped += 1;
-                self.record(now, "drop", out.env.src, format!("hop n{}: {}", out.hop, out.env.msg));
+                self.record(now, "drop", out.env.src, format!("hop n{}: {}", hop, out.env.msg));
                 return;
             }
             2 => {
                 self.stats.duplicated += 1;
-                self.record(now, "dup", out.env.src, format!("hop n{}: {}", out.hop, out.env.msg));
+                self.record(now, "dup", out.env.src, format!("hop n{}: {}", hop, out.env.msg));
             }
             _ => {}
         }
         for delay in delays {
-            self.queue.push(now + delay.max(1), Ev::Deliver { hop: out.hop, env: out.env.clone() });
+            self.queue.push(now + delay.max(1), Ev::Deliver { hop, env: out.env.clone() });
         }
     }
 
@@ -281,13 +355,46 @@ impl Harness {
             }
         }
         for out in outgoing {
-            self.transmit(now, out);
+            self.transmit(now, id, out);
         }
     }
 
     fn flush_coordinator(&mut self, now: u64) {
-        for out in self.coordinator.take_outbox() {
-            self.transmit(now, out);
+        let Control::Single(coordinator) = &mut self.control else {
+            return;
+        };
+        for out in coordinator.take_outbox() {
+            self.transmit(now, COORDINATOR, out);
+        }
+    }
+
+    fn flush_replica(&mut self, now: u64, index: u64) {
+        let Control::Replicated { replicas, .. } = &mut self.control else {
+            return;
+        };
+        let Some(ReplicaSlot::Up(replica)) = replicas.get_mut(&index) else {
+            return;
+        };
+        let outgoing = replica.take_outbox();
+        for out in outgoing {
+            self.transmit(now, replica_id(index), out);
+        }
+    }
+
+    /// The state the quiescence audit runs against: the single
+    /// coordinator's, or the best replica's — the current leader, else
+    /// the highest `(term, commit)` survivor.
+    fn authoritative_coord(&self) -> Option<&CoordinatorDurable> {
+        match &self.control {
+            Control::Single(coordinator) => Some(coordinator.durable()),
+            Control::Replicated { replicas, .. } => replicas
+                .values()
+                .filter_map(|slot| match slot {
+                    ReplicaSlot::Up(r) => Some(r),
+                    ReplicaSlot::Down(_) => None,
+                })
+                .max_by_key(|r| (r.is_leader(), r.term(), r.commit()))
+                .map(|r| r.coord()),
         }
     }
 
@@ -314,10 +421,25 @@ pub fn run_sim(config: &ClusterSimConfig, seed: u64) -> SimReport {
     let mut member_bootstrap = vec![COORDINATOR];
     member_bootstrap.extend(&founders);
 
-    let mut coordinator = Coordinator::new(config.protocol, &founders);
-    if config.mutation == Some(Mutation::GrantNoDedup) {
-        coordinator.enable_grant_no_dedup();
-    }
+    let control = if config.replicas > 1 {
+        let mut replicas = std::collections::BTreeMap::new();
+        for index in 0..config.replicas {
+            let mut replica = Replica::new(index, config.replicas, &founders, config.protocol);
+            match config.mutation {
+                Some(Mutation::SplitBrainDoubleGrant) => replica.enable_split_brain(),
+                Some(Mutation::CommitBeforeQuorum) => replica.enable_commit_before_quorum(),
+                _ => {}
+            }
+            replicas.insert(index, ReplicaSlot::Up(Box::new(replica)));
+        }
+        Control::Replicated { replicas, rotation: 0 }
+    } else {
+        let mut coordinator = Coordinator::new(config.protocol, &founders);
+        if config.mutation == Some(Mutation::GrantNoDedup) {
+            coordinator.enable_grant_no_dedup();
+        }
+        Control::Single(Box::new(coordinator))
+    };
 
     let mut slots = std::collections::BTreeMap::new();
     for &id in &founders {
@@ -365,15 +487,53 @@ pub fn run_sim(config: &ClusterSimConfig, seed: u64) -> SimReport {
         let at = plan_rng.range(horizon / 4, (horizon * 3) / 4);
         queue.push(at, Ev::Leave { node });
     }
+    // Replica fault plan. These draws come *after* every legacy draw
+    // and are guarded by the counts, so single-coordinator configs see
+    // byte-identical rng streams to earlier releases.
+    let lease = config.protocol.lease_ticks.max(1);
+    for _ in 0..config.replica_crashes {
+        if config.replicas <= 1 {
+            break;
+        }
+        let index = plan_rng.below(config.replicas);
+        let at = plan_rng.range(horizon / 10, (horizon * 4) / 5);
+        let down_for = plan_rng.range(lease * 2, lease * 6);
+        queue.push(at, Ev::ReplicaCrash { index });
+        queue.push(at + down_for, Ev::ReplicaRestart { index });
+    }
+    let mut partitions = Vec::new();
+    for window in 0..config.partitions {
+        if config.replicas <= 1 {
+            break;
+        }
+        // Isolate one replica from the rest of the group. Workers sit
+        // on neither side, so they still reach *both* halves — the
+        // split-brain shape a stale leader needs to double-grant. The
+        // first window always cuts replica 0 — the deterministic
+        // initial leader, so the most adversarial target; later windows
+        // pick at random (the draw still happens so the rng stream does
+        // not depend on the window index).
+        let drawn = plan_rng.below(config.replicas);
+        let isolated = if window == 0 { 0 } else { drawn };
+        let start = plan_rng.range(horizon / 10, (horizon * 3) / 5);
+        let duration = plan_rng.range(lease * 3, lease * 8);
+        partitions.push(PartitionWindow {
+            start,
+            end: (start + duration).min(horizon),
+            side_a: vec![replica_id(isolated)],
+            side_b: (0..config.replicas).filter(|&i| i != isolated).map(replica_id).collect(),
+        });
+    }
 
     let mut harness = Harness {
         config,
-        coordinator,
+        control,
         slots,
         left: std::collections::BTreeSet::new(),
         queue,
         fault_rng,
         active_fault: config.fault,
+        partitions,
         checker: GlobalChecker::new(),
         violations: Vec::new(),
         stats: SimStats::default(),
@@ -382,6 +542,9 @@ pub fn run_sim(config: &ClusterSimConfig, seed: u64) -> SimReport {
         draining: false,
     };
     harness.flush_coordinator(0);
+    for index in 0..config.replicas {
+        harness.flush_replica(0, index);
+    }
 
     let mut capped = false;
     while let Some((now, _, ev)) = harness.queue.pop() {
@@ -392,8 +555,24 @@ pub fn run_sim(config: &ClusterSimConfig, seed: u64) -> SimReport {
         }
         match ev {
             Ev::Tick => {
-                harness.coordinator.on_tick(now);
+                if let Control::Single(coordinator) = &mut harness.control {
+                    coordinator.on_tick(now);
+                }
                 harness.flush_coordinator(now);
+                let indices: Vec<u64> =
+                    if let Control::Replicated { replicas, .. } = &harness.control {
+                        replicas.keys().copied().collect()
+                    } else {
+                        Vec::new()
+                    };
+                for index in indices {
+                    if let Control::Replicated { replicas, .. } = &mut harness.control {
+                        if let Some(ReplicaSlot::Up(replica)) = replicas.get_mut(&index) {
+                            replica.on_tick(now);
+                        }
+                    }
+                    harness.flush_replica(now, index);
+                }
                 let ids: Vec<NodeId> = harness.slots.keys().copied().collect();
                 for id in ids {
                     if let Some(Slot::Up(node)) = harness.slots.get_mut(&id) {
@@ -406,10 +585,35 @@ pub fn run_sim(config: &ClusterSimConfig, seed: u64) -> SimReport {
                 }
             }
             Ev::Deliver { hop, env } => {
-                if hop == COORDINATOR {
+                if hop >= REPLICA_BASE {
+                    let index = hop - REPLICA_BASE;
+                    let up = matches!(
+                        &harness.control,
+                        Control::Replicated { replicas, .. }
+                            if matches!(replicas.get(&index), Some(ReplicaSlot::Up(_)))
+                    );
+                    if up {
+                        harness.stats.delivered += 1;
+                        harness.record(now, "deliver", hop, format!("{}", env.msg));
+                        if let Control::Replicated { replicas, .. } = &mut harness.control {
+                            if let Some(ReplicaSlot::Up(replica)) = replicas.get_mut(&index) {
+                                replica.on_message(now, env);
+                            }
+                        }
+                        harness.flush_replica(now, index);
+                    } else {
+                        harness.stats.lost += 1;
+                        harness.record(now, "lost", hop, format!("{}", env.msg));
+                    }
+                } else if hop == COORDINATOR {
+                    // Only reachable in single-coordinator mode: the
+                    // replicated transmit path resolves id 0 to a
+                    // physical replica before scheduling delivery.
                     harness.stats.delivered += 1;
                     harness.record(now, "deliver", hop, format!("{}", env.msg));
-                    harness.coordinator.on_message(now, env);
+                    if let Control::Single(coordinator) = &mut harness.control {
+                        coordinator.on_message(now, env);
+                    }
                     harness.flush_coordinator(now);
                 } else if matches!(harness.slots.get(&hop), Some(Slot::Up(_))) {
                     harness.stats.delivered += 1;
@@ -492,6 +696,59 @@ pub fn run_sim(config: &ClusterSimConfig, seed: u64) -> SimReport {
                     harness.flush_node(now, node);
                 }
             }
+            Ev::ReplicaCrash { index } => {
+                let crashed = if let Control::Replicated { replicas, .. } = &mut harness.control {
+                    match replicas.get(&index) {
+                        Some(ReplicaSlot::Up(replica)) => {
+                            let durable = replica.durable().clone();
+                            replicas.insert(index, ReplicaSlot::Down(durable));
+                            true
+                        }
+                        _ => false,
+                    }
+                } else {
+                    false
+                };
+                if crashed {
+                    harness.stats.replica_crashes += 1;
+                    harness.record(now, "replica-crash", replica_id(index), String::new());
+                }
+            }
+            Ev::ReplicaRestart { index } => {
+                let restarted = if let Control::Replicated { replicas, .. } = &mut harness.control {
+                    match replicas.get(&index) {
+                        Some(ReplicaSlot::Down(durable)) => {
+                            let mut replica = Replica::restart(
+                                index,
+                                config.replicas,
+                                &founders,
+                                config.protocol,
+                                durable.clone(),
+                                now,
+                            );
+                            match config.mutation {
+                                Some(Mutation::SplitBrainDoubleGrant) => {
+                                    replica.enable_split_brain();
+                                }
+                                Some(Mutation::CommitBeforeQuorum) => {
+                                    replica.enable_commit_before_quorum();
+                                }
+                                _ => {}
+                            }
+                            replicas.insert(index, ReplicaSlot::Up(Box::new(replica)));
+                            true
+                        }
+                        _ => false,
+                    }
+                } else {
+                    false
+                };
+                if restarted {
+                    harness.stats.replica_restarts += 1;
+                    harness.record(now, "replica-restart", replica_id(index), String::new());
+                    harness.flush_replica(now, index);
+                }
+            }
             Ev::Drain => {
                 harness.draining = true;
                 // Faults off: the drain must converge.
@@ -527,16 +784,19 @@ pub fn run_sim(config: &ClusterSimConfig, seed: u64) -> SimReport {
             .violations
             .push(format!("liveness: {why} before drain converged ({})", stuck.join(", ")));
     } else {
-        let mut audit = harness.checker.finalize(harness.coordinator.durable());
+        let mut audit = match harness.authoritative_coord() {
+            Some(durable) => harness.checker.finalize(durable),
+            None => vec!["audit: no surviving replica holds coordinator state".to_owned()],
+        };
         for violation in &audit {
             harness.record(harness.queue.now(), "violation", COORDINATOR, violation.clone());
         }
         harness.violations.append(&mut audit);
     }
 
-    let (cursor, free_total) = {
-        let durable = harness.coordinator.durable();
-        (durable.cursor, durable.free.iter().map(|b| b.len).sum())
+    let (cursor, free_total) = match harness.authoritative_coord() {
+        Some(durable) => (durable.cursor, durable.free.iter().map(|b| b.len).sum()),
+        None => (0, 0),
     };
     SimReport {
         seed,

@@ -5,8 +5,12 @@
 //! schedules exhaustively; this module is its message-passing sibling
 //! for the distributed layer: a seeded, fully deterministic event queue
 //! plus a per-message fault plan (drop / duplicate / delay, and —
-//! through randomized delays — reordering). Everything a run does
-//! derives from its seed, so any counterexample found by a checker
+//! through randomized delays — reordering) and *structural* fault
+//! events: scheduled network partitions ([`PartitionSchedule`], the
+//! shape that drives split-brain scenarios) and crash-restart windows
+//! (a harness schedules crash/restart pairs as ordinary events and
+//! parks the victim's durable state while it is down). Everything a run
+//! does derives from its seed, so any counterexample found by a checker
 //! driving this kernel replays exactly from `(config, seed)`.
 //!
 //! The kernel is deliberately generic: it schedules opaque events `E`
@@ -117,6 +121,69 @@ impl FaultPlan {
         }
         let copies = if rng.chance(self.dup_per_mille) { 2 } else { 1 };
         (0..copies).map(|_| rng.range(self.min_delay, self.max_delay)).collect()
+    }
+}
+
+/// One scheduled network partition: during `start..end`, every hop
+/// between a member of `side_a` and a member of `side_b` is severed
+/// (dropped at send time, like a cable cut). Nodes on the same side —
+/// and nodes on *neither* side — communicate normally, which is what
+/// lets a partitioned replica keep talking to clients while losing its
+/// peers: the classic split-brain shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// First tick of the partition (inclusive).
+    pub start: u64,
+    /// First tick after the partition (exclusive) — the heal time.
+    pub end: u64,
+    /// One side of the cut.
+    pub side_a: Vec<u64>,
+    /// The other side.
+    pub side_b: Vec<u64>,
+}
+
+impl PartitionWindow {
+    /// Whether this window severs a hop from `from` to `to` at `now`.
+    #[must_use]
+    pub fn severs(&self, now: u64, from: u64, to: u64) -> bool {
+        if now < self.start || now >= self.end {
+            return false;
+        }
+        let a = |id| self.side_a.contains(&id);
+        let b = |id| self.side_b.contains(&id);
+        (a(from) && b(to)) || (b(from) && a(to))
+    }
+}
+
+/// A set of scheduled partitions and crash-restart windows — the
+/// *structural* fault events that complement [`FaultPlan`]'s per-hop
+/// probabilistic ones. A harness consults [`Self::severed`] for every
+/// hop it is about to transmit.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSchedule {
+    /// The scheduled windows (may overlap; any severing window cuts the
+    /// hop).
+    pub windows: Vec<PartitionWindow>,
+}
+
+impl PartitionSchedule {
+    /// A schedule with no partitions.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any window severs the `from → to` hop at `now`.
+    #[must_use]
+    pub fn severed(&self, now: u64, from: u64, to: u64) -> bool {
+        self.windows.iter().any(|w| w.severs(now, from, to))
+    }
+
+    /// The last heal time across all windows (0 when empty): after this
+    /// tick the network is whole again, which drains rely on.
+    #[must_use]
+    pub fn healed_by(&self) -> u64 {
+        self.windows.iter().map(|w| w.end).max().unwrap_or(0)
     }
 }
 
@@ -270,6 +337,33 @@ mod tests {
         };
         assert_eq!(run(99), run(99), "same seed, same fault schedule");
         assert_ne!(run(99), run(100), "different seeds diverge");
+    }
+
+    #[test]
+    fn partition_windows_sever_cross_side_hops_only() {
+        let window =
+            PartitionWindow { start: 10, end: 20, side_a: vec![100], side_b: vec![101, 102] };
+        // Active window, cross-side: severed both directions.
+        assert!(window.severs(10, 100, 101));
+        assert!(window.severs(19, 102, 100));
+        // Same side, or a node on neither side: unaffected.
+        assert!(!window.severs(15, 101, 102));
+        assert!(!window.severs(15, 1, 100), "clients outside the cut still reach side A");
+        assert!(!window.severs(15, 1, 101));
+        // Outside the window: healed.
+        assert!(!window.severs(9, 100, 101));
+        assert!(!window.severs(20, 100, 101), "end is exclusive — the heal tick delivers");
+
+        let schedule = PartitionSchedule { windows: vec![window.clone()] };
+        assert!(schedule.severed(12, 100, 102));
+        assert!(!schedule.severed(25, 100, 102));
+        assert_eq!(schedule.healed_by(), 20);
+        assert!(!PartitionSchedule::none().severed(12, 100, 102));
+        assert_eq!(PartitionSchedule::none().healed_by(), 0);
+
+        let json = serde_json::to_string(&schedule).expect("schedule serializes");
+        let back: PartitionSchedule = serde_json::from_str(&json).expect("parses back");
+        assert_eq!(back, schedule, "partition schedules replay through serde");
     }
 
     #[test]
